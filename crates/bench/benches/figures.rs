@@ -1,0 +1,71 @@
+//! Criterion benches that exercise exactly the computation each paper
+//! figure/table rests on, one group per artifact (the printable
+//! reproductions themselves are the `fig*`/`tables` binaries — see
+//! `cargo run --release -p commopt-bench --bin repro_all`).
+
+use commopt_bench::exposed_overhead_us;
+use commopt_benchmarks::{suite, Experiment};
+use commopt_ironman::Library;
+use commopt_machine::MachineSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Figure 6: one exposed-overhead measurement (two-node ping pair) per
+/// machine/library at the knee size.
+fn fig6_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_overhead");
+    g.sample_size(10);
+    for (m, lib) in [
+        (MachineSpec::t3d(), Library::Pvm),
+        (MachineSpec::t3d(), Library::Shmem),
+        (MachineSpec::paragon(), Library::NxSync),
+        (MachineSpec::paragon(), Library::NxAsync),
+        (MachineSpec::paragon(), Library::NxCallback),
+    ] {
+        g.bench_function(format!("{}/{}", m.name.replace(' ', "_"), lib.name()), |b| {
+            b.iter(|| black_box(exposed_overhead_us(&m, lib, 512, 50)))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 8/10/11/12 and Tables 1–4 all rest on the same pipeline:
+/// compile → optimize → simulate one (benchmark, experiment) cell.
+/// Benchmarked here at a reduced size (n=48, 4 iterations) so the whole
+/// suite finishes in minutes; the full-size reproduction is the
+/// `repro_all` binary.
+fn experiment_cells(c: &mut Criterion) {
+    use commopt_core::optimize;
+    use commopt_sim::{SimConfig, Simulator};
+
+    let mut g = c.benchmark_group("experiment_cell");
+    g.sample_size(10);
+    let t3d = MachineSpec::t3d();
+    let cell = |b: &commopt_benchmarks::Benchmark, e: Experiment| {
+        let p = b.program_with(48, 4);
+        let opt = optimize(&p, &e.config());
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(t3d.clone(), e.library(), 16),
+        )
+        .run();
+        (opt.static_count(), r.dynamic_comm, r.time_s)
+    };
+    for b in suite() {
+        g.bench_function(format!("{}/baseline", b.name), |bench| {
+            bench.iter(|| black_box(cell(&b, Experiment::Baseline)))
+        });
+    }
+    // The full experiment row for tomcatv (skipping baseline, covered
+    // above).
+    let tomcatv = commopt_benchmarks::tomcatv();
+    for e in Experiment::ALL.into_iter().skip(1) {
+        g.bench_function(format!("tomcatv/{}", e.name().replace(' ', "_")), |bench| {
+            bench.iter(|| black_box(cell(&tomcatv, e)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6_overhead, experiment_cells);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the communication optimizer itself: frontend
+//! compilation and each optimization level's planning time on every
+//! benchmark program.
+
+use commopt_benchmarks::suite;
+use commopt_core::{optimize, OptConfig};
+use commopt_lang::Frontend;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in suite() {
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let p = Frontend::new(black_box(b.source)).compile().unwrap();
+                black_box(p)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize");
+    for b in suite() {
+        let program = b.program();
+        for (name, cfg) in OptConfig::presets() {
+            g.bench_function(format!("{}/{}", b.name, name.replace(' ', "_")), |bench| {
+                bench.iter_batched(
+                    || program.clone(),
+                    |p| black_box(optimize(&p, &cfg)),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_plan");
+    for b in suite() {
+        let opt = optimize(&b.program(), &OptConfig::pl());
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| commopt_core::verify_plan(black_box(&opt.program)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_count");
+    for b in suite() {
+        let opt = optimize(&b.program(), &OptConfig::pl());
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| black_box(commopt_core::dynamic_count(&opt.program)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_optimize, bench_verify, bench_counts);
+criterion_main!(benches);

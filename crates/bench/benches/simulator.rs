@@ -1,0 +1,67 @@
+//! Criterion benches for the SPMD discrete-event executor: timing-only
+//! simulation throughput per benchmark, full-numerics execution on small
+//! grids, and the sequential reference interpreter.
+
+use commopt_benchmarks::suite;
+use commopt_core::{optimize, OptConfig};
+use commopt_ironman::Library;
+use commopt_machine::MachineSpec;
+use commopt_sim::{SeqInterp, SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Reduced sizes so each iteration stays in the milliseconds.
+const N: i64 = 32;
+const ITERS: i64 = 3;
+
+fn bench_timing_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_timing");
+    for b in suite() {
+        let opt = optimize(&b.program_with(N, ITERS), &OptConfig::pl());
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let r = Simulator::new(
+                    &opt.program,
+                    SimConfig::timing(MachineSpec::t3d(), Library::Pvm, 16),
+                )
+                .run();
+                black_box(r.time_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_full_numerics");
+    g.sample_size(20);
+    for b in suite() {
+        let opt = optimize(&b.program_with(N, ITERS), &OptConfig::pl());
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let r = Simulator::new(
+                    &opt.program,
+                    SimConfig::full(MachineSpec::t3d(), Library::Pvm, 4),
+                )
+                .run();
+                black_box(r.time_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_seq_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_reference");
+    g.sample_size(20);
+    for b in suite() {
+        let p = b.program_with(N, ITERS);
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| black_box(SeqInterp::run(&p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_timing_sim, bench_full_sim, bench_seq_interp);
+criterion_main!(benches);

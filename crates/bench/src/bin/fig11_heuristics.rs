@@ -1,0 +1,50 @@
+//! Figure 11: reduction in the number of communications under the two
+//! combining heuristics (maximize combining vs maximize latency hiding),
+//! scaled to baseline.
+
+use commopt_bench::{bar, run_experiment, Table};
+use commopt_benchmarks::{suite, Experiment};
+
+fn main() {
+    println!("Figure 11: combining heuristic communication counts (scaled to baseline)\n");
+    type Pick = fn(commopt_bench::Measured) -> u64;
+    let metrics: [(&str, Pick); 2] = [
+        ("static counts", |m| m.static_count),
+        ("dynamic counts", |m| m.dynamic_count),
+    ];
+    for (label, pick) in metrics {
+        println!("{label}:");
+        let mut t = Table::new(&["benchmark", "heuristic", "count", "scaled", "paper", ""]);
+        for b in suite() {
+            let base = pick(run_experiment(&b, Experiment::Baseline));
+            let paper_base = match label {
+                "static counts" => b.paper.baseline().static_count,
+                _ => b.paper.baseline().dynamic_count,
+            };
+            for (name, e) in [
+                ("max combining", Experiment::Pl),
+                ("max latency hiding", Experiment::PlMaxLatency),
+            ] {
+                let m = pick(run_experiment(&b, e));
+                let paper = match label {
+                    "static counts" => b.paper.row(e).static_count,
+                    _ => b.paper.row(e).dynamic_count,
+                };
+                let scaled = m as f64 / base as f64;
+                t.row(&[
+                    b.name.to_uppercase(),
+                    name.to_string(),
+                    m.to_string(),
+                    format!("{scaled:.2}"),
+                    format!("{:.2}", paper as f64 / paper_base as f64),
+                    bar(scaled, 40),
+                ]);
+            }
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("Paper's finding: combining for maximum latency hiding can leave");
+    println!("significantly more communications, both statically and dynamically");
+    println!("(for TOMCATV it leaves the same dynamic count as rr alone).");
+}

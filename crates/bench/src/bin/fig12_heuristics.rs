@@ -1,0 +1,34 @@
+//! Figure 12: comparison of the combining heuristics — scaled running
+//! times of "pl with shmem" under maximize-combining vs
+//! maximize-latency-hiding.
+
+use commopt_bench::{bar, run_experiment, Table};
+use commopt_benchmarks::{suite, Experiment};
+
+fn main() {
+    println!("Figure 12: combining heuristics, running time over SHMEM (scaled)\n");
+    let mut t = Table::new(&["benchmark", "heuristic", "time (s)", "scaled", "paper", ""]);
+    for b in suite() {
+        let base = run_experiment(&b, Experiment::Baseline).time_s;
+        let paper_base = b.paper.baseline().time_s.unwrap();
+        for (name, e) in [
+            ("pl with shmem", Experiment::PlShmem),
+            ("pl with max latency", Experiment::PlMaxLatency),
+        ] {
+            let m = run_experiment(&b, e);
+            let scaled = m.time_s / base;
+            let paper = b.paper.row(e).time_s.map(|x| x / paper_base);
+            t.row(&[
+                b.name.to_uppercase(),
+                name.to_string(),
+                format!("{:.3}", m.time_s),
+                format!("{scaled:.3}"),
+                paper.map(|p| format!("{p:.3}")).unwrap_or("- (lib bug)".into()),
+                bar(scaled, 40),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nPaper's finding: the versions compiled for maximized combining always");
+    println!("performed better than those maximizing latency hiding.");
+}

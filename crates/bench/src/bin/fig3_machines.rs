@@ -1,0 +1,50 @@
+//! Figure 3: machine parameters and communication libraries.
+
+use commopt_bench::Table;
+use commopt_machine::MachineSpec;
+
+fn main() {
+    println!("Figure 3: machine parameters and communication libraries\n");
+    let mut t = Table::new(&["machine", "clock", "communication library", "timer granularity"]);
+    for m in [MachineSpec::paragon(), MachineSpec::t3d()] {
+        let libs: Vec<String> = m
+            .libraries()
+            .map(|l| {
+                format!(
+                    "{} ({})",
+                    l.name(),
+                    if l.binding().is_one_way() { "shared memory" } else { "message passing" }
+                )
+            })
+            .collect();
+        t.row(&[
+            m.name.to_string(),
+            format!("{} MHz", m.clock_mhz),
+            libs.join(", "),
+            format!("~{} ns", m.timer_granularity_ns),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nModel parameters (this reproduction):");
+    for m in [MachineSpec::paragon(), MachineSpec::t3d()] {
+        println!(
+            "  {:14} flop {:.2} us, stmt overhead {:.1} us, guard {:.1} us, reduce stage {:.0} us",
+            m.name, m.flop_us, m.stmt_overhead_us, m.guard_overhead_us, m.reduce_stage_us
+        );
+        for l in m.libraries() {
+            let c = m.costs(l);
+            println!(
+                "    {:12} send {:>5.1}+{:.4}/B us, recv {:>5.1}+{:.4}/B us, sync {:>4.1}(+{:.1}/call) us, wire {:>4.1} us + {:.0} MB/s",
+                l.name(),
+                c.send_init_us,
+                c.send_per_byte_us,
+                c.recv_init_us,
+                c.recv_per_byte_us,
+                c.sync_us,
+                c.sync_call_us,
+                c.latency_us,
+                c.bandwidth_mb_s,
+            );
+        }
+    }
+}

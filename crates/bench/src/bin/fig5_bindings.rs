@@ -1,0 +1,59 @@
+//! Figure 5: IRONMAN bindings on the Paragon and T3D.
+
+use commopt_bench::Table;
+use commopt_ir::CallKind;
+use commopt_ironman::{Action, Library};
+
+fn name(a: Action, lib: Library, call: CallKind) -> &'static str {
+    // The concrete routine each abstract action corresponds to, per library.
+    match (lib, call, a) {
+        (_, _, Action::Noop) => "no-op",
+        (Library::NxSync, _, Action::BlockingSend) => "csend",
+        (Library::NxSync, _, Action::BlockingRecv) => "crecv",
+        (Library::NxAsync, _, Action::PostRecv) => "irecv",
+        (Library::NxAsync, _, Action::AsyncSend) => "isend",
+        (Library::NxAsync, _, Action::WaitRecv) => "msgwait",
+        (Library::NxAsync, _, Action::WaitSend) => "msgwait",
+        (Library::NxCallback, _, Action::Probe) => "hprobe",
+        (Library::NxCallback, _, Action::AsyncSend) => "hsend",
+        (Library::NxCallback, _, Action::WaitRecv) => "hrecv",
+        (Library::NxCallback, _, Action::WaitSend) => "msgwait",
+        (Library::Pvm, _, Action::BlockingSend) => "pvm_send",
+        (Library::Pvm, _, Action::BlockingRecv) => "pvm_recv",
+        (Library::Shmem, _, Action::Put) => "shmem_put",
+        (Library::Shmem, _, Action::Sync) => "synch",
+        _ => "?",
+    }
+}
+
+fn main() {
+    println!("Figure 5: IRONMAN bindings on the Paragon and T3D\n");
+    let mut t = Table::new(&[
+        "program state",
+        "call",
+        "NX msg passing",
+        "NX asynchronous",
+        "NX callback",
+        "PVM",
+        "SHMEM",
+    ]);
+    let states = [
+        ("destination ready", CallKind::DR),
+        ("source ready", CallKind::SR),
+        ("destination needed", CallKind::DN),
+        ("source volatile", CallKind::SV),
+    ];
+    for (state, call) in states {
+        let cell = |lib: Library| name(lib.binding().action(call), lib, call).to_string();
+        t.row(&[
+            state.to_string(),
+            call.name().to_string(),
+            cell(Library::NxSync),
+            cell(Library::NxAsync),
+            cell(Library::NxCallback),
+            cell(Library::Pvm),
+            cell(Library::Shmem),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! Figure 7: experimental benchmark programs.
+//!
+//! The paper reports line counts of the final output C code; we report the
+//! mini-ZPL source line count and the lowered statement count instead.
+
+use commopt_bench::Table;
+use commopt_benchmarks::suite;
+
+fn main() {
+    println!("Figure 7: experimental benchmark programs\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "description",
+        "size",
+        "source lines",
+        "IR statements",
+        "arrays",
+    ]);
+    for b in suite() {
+        let p = b.program();
+        t.row(&[
+            b.name.to_uppercase(),
+            b.description.to_string(),
+            b.paper_size.to_string(),
+            b.source.lines().count().to_string(),
+            p.stmt_count().to_string(),
+            p.arrays.len().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

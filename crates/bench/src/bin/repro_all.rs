@@ -1,0 +1,42 @@
+//! Runs the complete reproduction — every figure and table — and tees the
+//! output into `results/<name>.txt`.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig3_machines",
+    "fig5_bindings",
+    "fig6_overhead",
+    "fig7_suite",
+    "fig8_counts",
+    "fig10_times",
+    "fig11_heuristics",
+    "fig12_heuristics",
+    "tables",
+    "ablation",
+    "paragon_note",
+    "extension_global",
+];
+
+fn main() {
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    for name in BINARIES {
+        let exe = bin_dir.join(name);
+        println!("==> {name}");
+        let output = Command::new(&exe)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", exe.display()));
+        assert!(output.status.success(), "{name} failed");
+        let text = String::from_utf8_lossy(&output.stdout);
+        println!("{text}");
+        fs::write(out_dir.join(format!("{name}.txt")), text.as_bytes())
+            .expect("write result file");
+    }
+    println!("All results written to {}/", out_dir.display());
+}

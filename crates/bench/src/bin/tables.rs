@@ -1,0 +1,43 @@
+//! Appendix A, Tables 1–4: static count, dynamic count and execution time
+//! for every experiment, paper-vs-measured.
+
+use commopt_bench::{run_experiment, Table};
+use commopt_benchmarks::{suite, Experiment};
+
+fn main() {
+    for (i, b) in suite().iter().enumerate() {
+        println!(
+            "Table {}: results for {} {} on {} processors\n",
+            i + 1,
+            b.paper_size,
+            b.name,
+            b.paper_procs
+        );
+        let mut t = Table::new(&[
+            "experiment",
+            "static",
+            "(paper)",
+            "dynamic",
+            "(paper)",
+            "time (s)",
+            "(paper)",
+        ]);
+        for e in Experiment::ALL {
+            let m = run_experiment(b, e);
+            let p = b.paper.row(e);
+            t.row(&[
+                e.name().to_string(),
+                m.static_count.to_string(),
+                p.static_count.to_string(),
+                m.dynamic_count.to_string(),
+                p.dynamic_count.to_string(),
+                format!("{:.4}", m.time_s),
+                p.time_s.map(|x| format!("{x:.4}")).unwrap_or("-".into()),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("Absolute times are not comparable (simulated substrate vs 1990s");
+    println!("hardware); compare the scaled columns of Figures 8 and 10-12.");
+}

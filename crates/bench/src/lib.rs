@@ -1,0 +1,199 @@
+//! # commopt-bench — the reproduction harness
+//!
+//! One binary per figure/table of Choi & Snyder (ICPP 1997):
+//!
+//! | binary            | reproduces |
+//! |-------------------|------------|
+//! | `fig3_machines`   | Figure 3 — machine parameters |
+//! | `fig5_bindings`   | Figure 5 — IRONMAN bindings |
+//! | `fig6_overhead`   | Figure 6 — exposed communication costs |
+//! | `fig7_suite`      | Figure 7 — benchmark programs |
+//! | `fig8_counts`     | Figure 8 — communication count reductions |
+//! | `fig10_times`     | Figure 10 — benchmark performance (PVM and SHMEM) |
+//! | `fig11_heuristics`| Figure 11 — combining heuristic counts |
+//! | `fig12_heuristics`| Figure 12 — combining heuristic times |
+//! | `tables`          | Appendix A, Tables 1–4 |
+//! | `repro_all`       | everything above, teed into `results/` |
+//!
+//! This library holds the shared runner and formatting helpers.
+
+use commopt_benchmarks::{Benchmark, Experiment};
+use commopt_core::optimize;
+use commopt_ironman::Library;
+use commopt_machine::MachineSpec;
+use commopt_sim::{SimConfig, SimResult, Simulator};
+
+/// One measured experiment row.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    pub static_count: u64,
+    pub dynamic_count: u64,
+    pub time_s: f64,
+}
+
+/// Compiles, optimizes, and simulates one benchmark under one experiment,
+/// on the T3D with the paper's 64-processor partition.
+pub fn run_experiment(bench: &Benchmark, exp: Experiment) -> Measured {
+    run_experiment_on(bench, exp, &MachineSpec::t3d(), bench.paper_procs)
+}
+
+/// As [`run_experiment`], with an explicit machine and partition size.
+pub fn run_experiment_on(
+    bench: &Benchmark,
+    exp: Experiment,
+    machine: &MachineSpec,
+    procs: usize,
+) -> Measured {
+    let program = bench.program();
+    let opt = optimize(&program, &exp.config());
+    let r = Simulator::new(&opt.program, SimConfig::timing(machine.clone(), exp.library(), procs))
+        .run();
+    Measured {
+        static_count: opt.static_count(),
+        dynamic_count: r.dynamic_comm,
+        time_s: r.time_s,
+    }
+}
+
+/// Simulates an arbitrary optimized program (timing only).
+pub fn simulate_program(
+    program: &commopt_ir::Program,
+    machine: &MachineSpec,
+    library: Library,
+    procs: usize,
+) -> SimResult {
+    Simulator::new(program, SimConfig::timing(machine.clone(), library, procs)).run()
+}
+
+/// The exposed per-transfer software overhead of one library at one
+/// message size — the paper's Figure 6 measurement: the ping program's
+/// time minus its communication-free twin's, per transfer.
+pub fn exposed_overhead_us(
+    machine: &MachineSpec,
+    library: Library,
+    msg_doubles: i64,
+    iterations: u64,
+) -> f64 {
+    let (with_comm, without) = commopt_benchmarks::synthetic::overhead_pair(msg_doubles, iterations);
+    let pl = commopt_core::OptConfig::pl();
+    let a = optimize(&with_comm, &pl);
+    let b = optimize(&without, &pl);
+    let ta = Simulator::new(&a.program, SimConfig::timing(machine.clone(), library, 2)).run();
+    let tb = Simulator::new(&b.program, SimConfig::timing(machine.clone(), library, 2)).run();
+    // Two transfers per iteration (one in each direction), but each
+    // processor handles exactly one send and one receive per iteration —
+    // one full transfer's worth of software overhead.
+    (ta.time_s - tb.time_s) * 1e6 / iterations as f64
+}
+
+/// A fixed-width text table writer.
+pub struct Table {
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numbers, left-align text.
+                if c.chars().next().map(|ch| ch.is_ascii_digit()).unwrap_or(false) {
+                    out.push_str(&format!("{c:>w$}"));
+                } else {
+                    out.push_str(&format!("{c:<w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal bar for a scaled value (1.0 == full width), the
+/// text analogue of the paper's bar charts.
+pub fn bar(scaled: f64, width: usize) -> String {
+    let clamped = scaled.clamp(0.0, 1.6);
+    let n = (clamped / 1.6 * width as f64).round() as usize;
+    let mut s = "#".repeat(n.min(width));
+    if scaled > 1.6 {
+        s.push('>');
+    }
+    s
+}
+
+/// Formats a measured/paper pair as `x.xx (paper y.yy)`.
+pub fn vs_paper(measured: f64, paper: Option<f64>) -> String {
+    match paper {
+        Some(p) => format!("{measured:.3} (paper {p:.3})"),
+        None => format!("{measured:.3} (paper   -  )"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_benchmarks::tomcatv;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "10000".into()]);
+        let s = t.render();
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() == 4);
+        // Numbers right-aligned under the widest cell.
+        assert!(s.lines().last().unwrap().ends_with("10000"));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10), "");
+        assert_eq!(bar(1.6, 10).len(), 10);
+        assert!(bar(2.0, 10).ends_with('>'));
+    }
+
+    #[test]
+    fn exposed_overhead_is_positive_and_grows() {
+        let t3d = MachineSpec::t3d();
+        let small = exposed_overhead_us(&t3d, Library::Pvm, 8, 50);
+        let large = exposed_overhead_us(&t3d, Library::Pvm, 4096, 50);
+        assert!(small > 0.0, "{small}");
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn run_experiment_produces_consistent_counts() {
+        let b = tomcatv();
+        let m = run_experiment(&b, Experiment::Baseline);
+        assert_eq!(m.static_count, 46);
+        assert!(m.time_s > 0.0);
+        assert!(m.dynamic_count > 30_000);
+    }
+}

@@ -1,0 +1,33 @@
+-- Jacobi: the canonical ZPL example — 4-point stencil relaxation with a
+-- convergence reduction. Not part of the paper's suite; used as the
+-- quickstart program and as a small, easily-verified workload in tests.
+
+program jacobi;
+
+config n     = 64;
+config iters = 20;
+
+region R        = [1..n, 1..n];
+region Interior = [2..n-1, 2..n-1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+
+var A, New, Res, D : [R] double;
+
+scalar err = 0.0;
+
+begin
+  [R] A := (Index1 / n) * (Index1 / n) + Index2 / n;
+  [R] D := 0.01 * (Index1 / n);
+  repeat iters {
+    [Interior] New := 0.25 * (A@north + A@south + A@east + A@west);
+    -- residual with a source term: re-reads A@east/A@west (redundant) and
+    -- adds D@east (combinable with A@east)
+    [Interior] Res := A@east - 2.0 * A + A@west + D@east;
+    err := max<< [Interior] abs(New - A + 0.001 * Res);
+    [Interior] A := New;
+  }
+end

@@ -1,0 +1,219 @@
+-- SIMPLE: 2D Lagrangian hydrodynamics (Livermore Labs benchmark).
+-- The largest program in the suite. Phases follow the original code's
+-- procedure structure (momentum from pressure/viscosity gradients, node
+-- motion, zone geometry and density, artificial viscosity, energy/PdV
+-- work, implicit heat conduction row sweeps, equation of state, and
+-- diagnostic reductions). Procedure boundaries are modeled as single-trip
+-- repeat blocks, which — like loop boundaries — delimit the optimizer's
+-- basic blocks.
+--
+-- Generated code for SIMPLE is notoriously redundant: the same pressure
+-- and viscosity slabs are re-fetched by consecutive statements, which is
+-- why the paper sees the largest static win from redundant communication
+-- removal on this benchmark (266 -> 103 communications).
+
+program simple;
+
+config n     = 256;
+config iters = 147;
+
+region R        = [1..n, 1..n];
+region Interior = [2..n-1, 2..n-1];
+region Top      = [1..1, 2..n-1];
+region Bottom   = [n..n, 2..n-1];
+region Left     = [2..n-1, 1..1];
+region Right    = [2..n-1, n..n];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+direction ne    = [-1, 1];
+direction nw    = [-1, -1];
+direction se    = [1, 1];
+direction sw    = [1, -1];
+
+-- node coordinates and velocities
+var RN, ZN, U, V          : [R] double;
+-- zone state
+var RHO, E, P, Q, M, AJ   : [R] double;
+-- temperature and conduction workspaces
+var T, TC, TD, TA, TB, TDEN : [R] double;
+-- force and work temporaries
+var FX, FY, GX, GY        : [R] double;
+var HX, HY                : [R] double;
+var DU, DV, DW, DIVU, EK  : [R] double;
+var CS, AR                : [R] double;
+-- averaged node masses and strain rates
+var AM, BM, CM, DM        : [R] double;
+var EXX, EYY, EXY, WZ, SS : [R] double;
+-- smoothed fields
+var PS, QS, PB, QB        : [R] double;
+-- boundary workspaces
+var W1, W2, W3, W4        : [R] double;
+
+scalar dt    = 0.002;
+scalar kappa = 0.1;
+scalar gamma = 0.4;
+scalar qcoef = 0.3;
+scalar etot  = 0.0;
+scalar qmax  = 0.0;
+scalar csmax = 0.0;
+
+begin
+  -- Initial state: quiescent gas with a smooth density/energy bump.
+  [R] RN  := Index2 / n;
+  [R] ZN  := Index1 / n;
+  [R] U   := 0.0;
+  [R] V   := 0.0;
+  [R] RHO := 1.0 + 0.5 * (Index1 / n) * (1.0 - Index1 / n)
+                 * (Index2 / n) * (1.0 - Index2 / n) * 16.0;
+  [R] E   := 1.0 + 2.0 * (Index1 / n) * (1.0 - Index1 / n);
+  [R] M   := RHO / (n * n);
+  [R] P   := gamma * RHO * E;
+  [R] Q   := 0.0;
+  [R] T   := E / 0.7;
+  [R] TC  := 0.0;
+  [R] TD  := 0.0;
+
+  -- Setup: ghost-zone boundary preparation. Generated setup code derives
+  -- many boundary quantities from the same few interior slabs — the
+  -- redundancy rr eliminates wholesale (paper §3.3.1).
+  [Top] W1 := P@south + Q@south;
+  [Top] W2 := P@south - Q@south;
+  [Top] W3 := P@south * 0.5 + RHO@south;
+  [Top] W4 := max(P@south, Q@south) + RHO@south;
+  [Top] T  := T@south;
+  [Top] E  := E@south * 0.5 + RHO@south * 0.25;
+  [Bottom] W1 := P@north + Q@north;
+  [Bottom] W2 := P@north - Q@north;
+  [Bottom] W3 := P@north * 0.5 + RHO@north;
+  [Bottom] W4 := max(P@north, Q@north) + RHO@north;
+  [Bottom] T  := T@north;
+  [Bottom] E  := E@north * 0.5 + RHO@north * 0.25;
+  [Left] W1 := P@east + Q@east;
+  [Left] W2 := P@east - Q@east;
+  [Left] W3 := P@east * 0.5 + RHO@east;
+  [Left] W4 := max(P@east, Q@east) + RHO@east;
+  [Left] T  := T@east;
+  [Left] E  := E@east * 0.5 + RHO@east * 0.25;
+  [Right] W1 := P@west + Q@west;
+  [Right] W2 := P@west - Q@west;
+  [Right] W3 := P@west * 0.5 + RHO@west;
+  [Right] W4 := max(P@west, Q@west) + RHO@west;
+  [Right] T  := T@west;
+  [Right] E  := E@west * 0.5 + RHO@west * 0.25;
+
+  repeat iters {
+    -- Momentum: accelerations from pressure and viscosity gradients.
+    -- Each component and its corner correction re-reads the same slabs.
+    repeat 1 {
+      [Interior] FX := 0.5 * (P@west - P@east) + 0.5 * (Q@west - Q@east);
+      [Interior] FY := 0.5 * (P@north - P@south) + 0.5 * (Q@north - Q@south);
+      [Interior] GX := 0.25 * (P@west - P@east) - 0.25 * (Q@west - Q@east)
+                     + 0.125 * (P@nw - P@ne + P@sw - P@se);
+      [Interior] GY := 0.25 * (P@north - P@south) - 0.25 * (Q@north - Q@south)
+                     + 0.125 * (P@nw + P@ne - P@sw - P@se);
+      [Interior] HX := 0.125 * (Q@nw - Q@ne + Q@sw - Q@se)
+                     + 0.0625 * (P@nw - P@ne + P@sw - P@se);
+      [Interior] HY := 0.125 * (Q@nw + Q@ne - Q@sw - Q@se)
+                     + 0.0625 * (P@nw + P@ne - P@sw - P@se);
+      [Interior] U := U + dt * (FX + GX + HX) / (M + M@west);
+      [Interior] V := V + dt * (FY + GY + HY) / (M + M@south);
+    }
+
+    -- Node-mass averaging: the same mass slabs feed every average.
+    repeat 1 {
+      [Interior] AM := 0.25 * (M@north + M@south + M@east + M@west);
+      [Interior] BM := 0.5 * (M@north + M@south);
+      [Interior] CM := 0.5 * (M@east + M@west);
+      [Interior] DM := max(max(M@north, M@south), max(M@east, M@west));
+    }
+
+    -- Strain rates and spin, re-reading the velocity slabs.
+    repeat 1 {
+      [Interior] EXX := U@east - U@west;
+      [Interior] EYY := V@south - V@north;
+      [Interior] EXY := 0.5 * ((U@south - U@north) + (V@east - V@west));
+      [Interior] WZ  := 0.5 * ((V@east - V@west) - (U@south - U@north));
+      [Interior] SS  := EXX * EXX + EYY * EYY + 2.0 * EXY * EXY + WZ * WZ;
+    }
+
+    -- Node motion (no communication).
+    repeat 1 {
+      [Interior] RN := RN + dt * U;
+      [Interior] ZN := ZN + dt * V;
+    }
+
+    -- Zone geometry and density: Jacobian from the moved coordinates,
+    -- corner areas from the diagonals.
+    repeat 1 {
+      [Interior] AJ := 0.5 * ((RN@east - RN@west) * (ZN@south - ZN@north)
+                            - (RN@south - RN@north) * (ZN@east - ZN@west));
+      [Interior] AR := 0.25 * ((RN@se - RN@nw) * (ZN@sw - ZN@ne)
+                             - (RN@sw - RN@ne) * (ZN@se - ZN@nw));
+      [Interior] RHO := M * (n * n) / max(1.0 + AJ + AR, 0.125);
+    }
+
+    -- Artificial viscosity: velocity divergence and shear, re-reading the
+    -- velocity slabs for each measure.
+    repeat 1 {
+      [Interior] DU := U@east - U@west + U@south - U@north;
+      [Interior] DV := V@east - V@west + V@south - V@north;
+      [Interior] DW := (U@east - U@west) - (V@south - V@north);
+      [Interior] Q := qcoef * RHO * max(0.0 - (DU + DV), 0.0)
+                    * min(DW * DW + 0.25, 4.0);
+    }
+
+    -- Energy: PdV work plus kinetic diagnostic.
+    repeat 1 {
+      [Interior] DIVU := (U@east - U@west) + (V@south - V@north);
+      [Interior] E := E - dt * (P + Q) * DIVU / max(RHO, 0.125);
+      [Interior] EK := 0.5 * (U * U + V * V);
+    }
+
+    -- Heat conduction, sub-cycled explicitly: several diffusion substeps
+    -- per hydro step, each re-reading the four temperature slabs. (Unlike
+    -- TOMCATV's solver, this keeps SIMPLE's communication in fully
+    -- parallel stencil form — the paper notes SIMPLE's communication "all
+    -- occurs in the main body of the program".)
+    repeat 8 {
+      [Interior] TA := T@north + T@south + T@east + T@west;
+      [Interior] TB := 0.5 * (T@north + T@south) - 0.5 * (T@east + T@west);
+      [Interior] T := T + 0.1 * kappa * (TA - 4.0 * T) + 0.001 * TB * TB;
+    }
+
+    -- Pressure and viscosity smoothing for the next step's gradients,
+    -- re-reading the same four slabs per smoothed field.
+    repeat 1 {
+      [Interior] PS := 0.25 * (P@north + P@south + P@east + P@west);
+      [Interior] QS := 0.25 * (Q@north + Q@south + Q@east + Q@west);
+      [Interior] PB := 0.5 * (P@north + P@south) + 0.5 * (Q@north + Q@south);
+      [Interior] QB := 0.5 * (P@east + P@west) + 0.5 * (Q@east + Q@west);
+    }
+
+    -- Per-step boundary refresh: each edge quantity re-reads the same
+    -- interior slabs (the per-iteration analogue of the setup block).
+    repeat 1 {
+      [Top] W1 := P@south + Q@south;
+      [Top] W2 := P@south - Q@south + RHO@south;
+      [Top] T  := T@south;
+      [Bottom] W3 := P@north + Q@north;
+      [Bottom] W4 := P@north - Q@north + RHO@north;
+      [Bottom] T  := T@north;
+    }
+
+    -- Equation of state and sound speed.
+    repeat 1 {
+      [Interior] P := gamma * RHO * (E + 0.1 * (T - E / 0.7)) + 0.01 * (PS - P);
+      [Interior] CS := sqrt(max(1.4 * P / max(RHO, 0.125), 0.0));
+      [Interior] Q := 0.5 * (Q + QS) * min(SS + 0.5, 1.0)
+                    + 0.0001 * (PB + QB) + 0.0001 * (AM + BM + CM + DM);
+    }
+
+    -- Diagnostics.
+    etot  := +<< [Interior] E + EK;
+    qmax  := max<< [Interior] Q;
+    csmax := max<< [Interior] CS;
+  }
+end

@@ -1,0 +1,184 @@
+-- SP: scalar penta-diagonal CFD kernel (NAS Application Benchmarks),
+-- restructured for mini-ZPL. A 16x16x16 grid of five conservation
+-- variables is advanced by: second-difference right-hand sides in all
+-- three dimensions, fourth-order artificial dissipation (the radius-2
+-- stencils that make SP penta-diagonal), and ADI-style implicit line
+-- solves along x (dimension 1), y (dimension 2) and z (dimension 3).
+--
+-- Arrays are block distributed over the 2D processor mesh in their first
+-- two dimensions; the third dimension is processor-local, so the z sweeps
+-- execute their communication calls but never move data — while the x and
+-- y sweeps serialize across processor rows/columns, which is why SP (like
+-- TOMCATV) gains little from pipelining and regresses under the
+-- heavyweight SHMEM synchronization (paper §3.3.2).
+
+program sp;
+
+config n     = 16;
+config iters = 165;
+
+region R         = [1..n, 1..n, 1..n];
+region Interior  = [2..n-1, 2..n-1, 2..n-1];
+region Interior2 = [3..n-2, 3..n-2, 3..n-2];
+
+direction xm = [-1, 0, 0];
+direction xp = [1, 0, 0];
+direction ym = [0, -1, 0];
+direction yp = [0, 1, 0];
+direction zm = [0, 0, -1];
+direction zp = [0, 0, 1];
+direction xm2 = [-2, 0, 0];
+direction xp2 = [2, 0, 0];
+direction ym2 = [0, -2, 0];
+direction yp2 = [0, 2, 0];
+direction zm2 = [0, 0, -2];
+direction zp2 = [0, 0, 2];
+
+-- conservation variables and derived fields
+var U1, U2, U3, U4, U5           : [R] double;
+var RHS1, RHS2, RHS3, RHS4, RHS5 : [R] double;
+var RHOI, US, VS, WS, SPD        : [R] double;
+-- line-solve state, reused by each sweep direction
+var LP, LQ1, LQ2, LQ3            : [R] double;
+
+scalar dt    = 0.002;
+scalar bt    = 0.25;
+scalar eps   = 0.02;
+scalar rnorm = 0.0;
+
+begin
+  [R] U1 := 1.0 + 0.1 * (Index1 / n) * (1.0 - Index1 / n)
+                 * (Index2 / n) * (1.0 - Index2 / n)
+                 * (Index3 / n) * (1.0 - Index3 / n) * 64.0;
+  [R] U2 := 0.01 * (Index2 / n) * (1.0 - Index2 / n);
+  [R] U3 := 0.01 * (Index3 / n) * (1.0 - Index3 / n);
+  [R] U4 := 0.01 * (Index1 / n) * (1.0 - Index1 / n);
+  [R] U5 := 2.0 + 0.1 * (Index1 / n) + 0.1 * (Index2 / n);
+
+  repeat iters {
+    -- Auxiliary fields (no communication).
+    repeat 1 {
+      [R] RHOI := 1.0 / U1;
+      [R] US := U2 * RHOI;
+      [R] VS := U3 * RHOI;
+      [R] WS := U4 * RHOI;
+      [R] SPD := sqrt(max(0.4 * (U5 * RHOI - 0.5 * (US * US + VS * VS + WS * WS)), 0.01));
+    }
+
+    -- Right-hand sides: second differences in all three dimensions plus
+    -- the fourth-order dissipation stencils, which re-read the same
+    -- radius-1 slabs and add the radius-2 ones.
+    repeat 1 {
+      [Interior] RHS1 := dt * (U1@xm - 2.0 * U1 + U1@xp)
+                       + dt * (U1@ym - 2.0 * U1 + U1@yp)
+                       + dt * (U1@zm - 2.0 * U1 + U1@zp);
+      [Interior] RHS2 := dt * (U2@xm - 2.0 * U2 + U2@xp)
+                       + dt * (U2@ym - 2.0 * U2 + U2@yp)
+                       + dt * (U2@zm - 2.0 * U2 + U2@zp)
+                       - bt * (U1@xp - U1@xm);
+      [Interior] RHS3 := dt * (U3@xm - 2.0 * U3 + U3@xp)
+                       + dt * (U3@ym - 2.0 * U3 + U3@yp)
+                       + dt * (U3@zm - 2.0 * U3 + U3@zp)
+                       - bt * (U1@yp - U1@ym);
+      [Interior] RHS4 := dt * (U4@xm - 2.0 * U4 + U4@xp)
+                       + dt * (U4@ym - 2.0 * U4 + U4@yp)
+                       + dt * (U4@zm - 2.0 * U4 + U4@zp)
+                       - bt * (U1@zp - U1@zm);
+      [Interior] RHS5 := dt * (U5@xm - 2.0 * U5 + U5@xp)
+                       + dt * (U5@ym - 2.0 * U5 + U5@yp)
+                       + dt * (U5@zm - 2.0 * U5 + U5@zp)
+                       - bt * (US@xp - US@xm) - bt * (VS@yp - VS@ym)
+                       - bt * (WS@zp - WS@zm);
+      [Interior2] RHS1 := RHS1
+          - eps * (U1@xm2 - 4.0 * U1@xm + 6.0 * U1 - 4.0 * U1@xp + U1@xp2)
+          - eps * (U1@ym2 - 4.0 * U1@ym + 6.0 * U1 - 4.0 * U1@yp + U1@yp2)
+          - eps * (U1@zm2 - 4.0 * U1@zm + 6.0 * U1 - 4.0 * U1@zp + U1@zp2);
+      [Interior2] RHS2 := RHS2
+          - eps * (U2@xm2 - 4.0 * U2@xm + 6.0 * U2 - 4.0 * U2@xp + U2@xp2)
+          - eps * (U2@ym2 - 4.0 * U2@ym + 6.0 * U2 - 4.0 * U2@yp + U2@yp2)
+          - eps * (U2@zm2 - 4.0 * U2@zm + 6.0 * U2 - 4.0 * U2@zp + U2@zp2);
+      [Interior2] RHS3 := RHS3
+          - eps * (U3@xm2 - 4.0 * U3@xm + 6.0 * U3 - 4.0 * U3@xp + U3@xp2)
+          - eps * (U3@ym2 - 4.0 * U3@ym + 6.0 * U3 - 4.0 * U3@yp + U3@yp2)
+          - eps * (U3@zm2 - 4.0 * U3@zm + 6.0 * U3 - 4.0 * U3@zp + U3@zp2);
+      [Interior2] RHS4 := RHS4
+          - eps * (U4@xm2 - 4.0 * U4@xm + 6.0 * U4 - 4.0 * U4@xp + U4@xp2)
+          - eps * (U4@ym2 - 4.0 * U4@ym + 6.0 * U4 - 4.0 * U4@yp + U4@yp2)
+          - eps * (U4@zm2 - 4.0 * U4@zm + 6.0 * U4 - 4.0 * U4@zp + U4@zp2);
+      [Interior2] RHS5 := RHS5
+          - eps * (U5@xm2 - 4.0 * U5@xm + 6.0 * U5 - 4.0 * U5@xp + U5@xp2)
+          - eps * (U5@ym2 - 4.0 * U5@ym + 6.0 * U5 - 4.0 * U5@yp + U5@yp2)
+          - eps * (U5@zm2 - 4.0 * U5@zm + 6.0 * U5 - 4.0 * U5@zp + U5@zp2);
+    }
+
+    -- x solve: forward elimination / back substitution along dim 1, three
+    -- right-hand sides through the shared factorization.
+    repeat 1 {
+      [1, 1..n, 1..n] LP := 0.0;
+      [1, 1..n, 1..n] LQ1 := RHS1;
+      [1, 1..n, 1..n] LQ2 := RHS2;
+      [1, 1..n, 1..n] LQ3 := RHS3;
+    }
+    for i := 2 .. n-1 {
+      [i, 1..n, 1..n] LQ1 := (RHS1 + bt * LQ1@xm) / (2.0 + dt - LP@xm);
+      [i, 1..n, 1..n] LQ2 := (RHS2 + bt * LQ2@xm) / (2.0 + dt - LP@xm);
+      [i, 1..n, 1..n] LQ3 := (RHS3 + bt * LQ3@xm) / (2.0 + dt - LP@xm);
+      [i, 1..n, 1..n] LP := bt / (2.0 + dt - LP@xm);
+    }
+    for i := n-1 .. 2 by -1 {
+      [i, 1..n, 1..n] RHS1 := LQ1 + LP * RHS1@xp;
+      [i, 1..n, 1..n] RHS2 := LQ2 + LP * RHS2@xp;
+      [i, 1..n, 1..n] RHS3 := LQ3 + LP * RHS3@xp;
+    }
+
+    -- y solve: along dim 2.
+    repeat 1 {
+      [1..n, 1, 1..n] LP := 0.0;
+      [1..n, 1, 1..n] LQ1 := RHS1;
+      [1..n, 1, 1..n] LQ2 := RHS4;
+      [1..n, 1, 1..n] LQ3 := RHS5;
+    }
+    for j := 2 .. n-1 {
+      [1..n, j, 1..n] LQ1 := (RHS1 + bt * LQ1@ym) / (2.0 + dt - LP@ym);
+      [1..n, j, 1..n] LQ2 := (RHS4 + bt * LQ2@ym) / (2.0 + dt - LP@ym);
+      [1..n, j, 1..n] LQ3 := (RHS5 + bt * LQ3@ym) / (2.0 + dt - LP@ym);
+      [1..n, j, 1..n] LP := bt / (2.0 + dt - LP@ym);
+    }
+    for j := n-1 .. 2 by -1 {
+      [1..n, j, 1..n] RHS1 := LQ1 + LP * RHS1@yp;
+      [1..n, j, 1..n] RHS4 := LQ2 + LP * RHS4@yp;
+      [1..n, j, 1..n] RHS5 := LQ3 + LP * RHS5@yp;
+    }
+
+    -- z solve: along the processor-local dim 3 — the communication calls
+    -- execute but the transfers are empty.
+    repeat 1 {
+      [1..n, 1..n, 1] LP := 0.0;
+      [1..n, 1..n, 1] LQ1 := RHS2;
+      [1..n, 1..n, 1] LQ2 := RHS3;
+      [1..n, 1..n, 1] LQ3 := RHS4;
+    }
+    for k := 2 .. n-1 {
+      [1..n, 1..n, k] LQ1 := (RHS2 + bt * LQ1@zm) / (2.0 + dt - LP@zm);
+      [1..n, 1..n, k] LQ2 := (RHS3 + bt * LQ2@zm) / (2.0 + dt - LP@zm);
+      [1..n, 1..n, k] LQ3 := (RHS4 + bt * LQ3@zm) / (2.0 + dt - LP@zm);
+      [1..n, 1..n, k] LP := bt / (2.0 + dt - LP@zm);
+    }
+    for k := n-1 .. 2 by -1 {
+      [1..n, 1..n, k] RHS2 := LQ1 + LP * RHS2@zp;
+      [1..n, 1..n, k] RHS3 := LQ2 + LP * RHS3@zp;
+      [1..n, 1..n, k] RHS4 := LQ3 + LP * RHS4@zp;
+    }
+
+    -- Update the conservation variables.
+    repeat 1 {
+      [Interior] U1 := U1 + 0.1 * RHS1;
+      [Interior] U2 := U2 + 0.1 * RHS2;
+      [Interior] U3 := U3 + 0.1 * RHS3;
+      [Interior] U4 := U4 + 0.1 * RHS4;
+      [Interior] U5 := U5 + 0.1 * RHS5;
+    }
+
+    rnorm := max<< [Interior] abs(RHS1) + abs(RHS2) + abs(RHS3);
+  }
+end

@@ -1,0 +1,100 @@
+-- SWM: shallow water model (weather prediction), following the structure
+-- of the SPEC `swim` code: staggered-grid fluxes (CU, CV), potential
+-- vorticity (Z), potential enthalpy (H), the half-step updates of U/V/P,
+-- and the Robert-Asselin time smoothing of the old fields.
+--
+-- The three computation phases live in separate procedures in the original
+-- code; procedure boundaries delimit the optimizer's basic blocks just as
+-- loop boundaries do, so they are modeled here as single-trip repeat
+-- blocks. All communication sits in the main loop (the paper notes SWM has
+-- essentially no setup redundancy and limited room for pipelining).
+
+program swm;
+
+config n     = 512;
+config iters = 260;
+
+region R        = [1..n, 1..n];
+region Interior = [2..n-1, 2..n-1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+direction sw    = [1, -1];
+
+var U, V, P          : [R] double;
+var UNEW, VNEW, PNEW : [R] double;
+var UOLD, VOLD, POLD : [R] double;
+var CU, CV, Z, H     : [R] double;
+var PSI, VORT, DIAG  : [R] double;
+
+scalar fsdx  = 0.25;
+scalar fsdy  = 0.2;
+scalar tdts8 = 0.01;
+scalar tdtsdx = 0.02;
+scalar tdtsdy = 0.02;
+scalar alpha = 0.001;
+scalar pcheck = 0.0;
+
+begin
+  -- Initial conditions: a smooth doubly-curved height field at rest.
+  [R] P := 50.0 + 2.0 * (Index1 / n) * (1.0 - Index1 / n)
+                + 2.0 * (Index2 / n) * (1.0 - Index2 / n);
+  [R] U := 0.5 * (Index2 / n) * (1.0 - Index2 / n);
+  [R] V := 0.5 * (Index1 / n) * (1.0 - Index1 / n);
+  [R] UOLD := U;
+  [R] VOLD := V;
+  [R] POLD := P;
+
+  repeat iters {
+    -- calc1: fluxes, vorticity, enthalpy.
+    repeat 1 {
+      [Interior] CU := 0.5 * (P + P@west) * U;
+      [Interior] CV := 0.5 * (P + P@south) * V;
+      [Interior] Z := (fsdx * (V - V@west) - fsdy * (U - U@south))
+                    / (P + P@west + P@south + P@sw);
+      [Interior] H := P + 0.25 * (U * U + U@east * U@east
+                                + V * V + V@south * V@south);
+      -- stream-function and vorticity diagnostics (the original code's
+      -- checkpointing quantities)
+      [Interior] PSI  := P@north + P@east - 2.0 * P;
+      [Interior] VORT := (V@east - V) - (U@north - U);
+      [Interior] DIAG := 0.5 * (P@north + U@north) + 0.25 * (V@east - V);
+    }
+
+    -- calc2: flux boundary refresh (the original's periodic copies of the
+    -- derived fields, which invalidate freshly cached slabs mid-block)
+    -- followed by the half-step updates.
+    repeat 1 {
+      [1..1, 1..n] CU := CU@south;
+      [1..1, 1..n] CV := CV@south;
+      [n..n, 1..n] Z := Z@north;
+      [n..n, 1..n] H := H@north;
+      [Interior] UNEW := UOLD + tdts8 * (Z@east + Z) * (CV@east + CV)
+                       - tdtsdx * (H@east - H);
+      [Interior] VNEW := VOLD - tdts8 * (Z@south + Z) * (CU@south + CU)
+                       - tdtsdy * (H@south - H);
+      [Interior] PNEW := POLD - tdtsdx * (CU@east - CU)
+                       - tdtsdy * (CV@south - CV);
+    }
+
+    -- calc3: time smoothing and field rotation.
+    repeat 1 {
+      [Interior] UOLD := U + alpha * (UNEW - 2.0 * U + UOLD);
+      [Interior] VOLD := V + alpha * (VNEW - 2.0 * V + VOLD);
+      [Interior] POLD := P + alpha * (PNEW - 2.0 * P + POLD);
+      [Interior] U := UNEW;
+      [Interior] V := VNEW;
+      [Interior] P := PNEW;
+      -- Reflective boundary refresh (the original code's periodic copies).
+      [1..1, 1..n] U := U@south;
+      [1..1, 1..n] V := V@south;
+      [n..n, 1..n] P := P@north;
+      [1..n, 1..1] U := U@east;
+      [1..n, n..n] V := V@west;
+    }
+
+    pcheck := +<< [Interior] P;
+  }
+end

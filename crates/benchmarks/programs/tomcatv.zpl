@@ -1,0 +1,108 @@
+-- TOMCATV: Thompson solver and mesh generation (SPEC benchmark), ported to
+-- mini-ZPL following the structure of the ZPL version studied in
+-- Choi & Snyder, ICPP 1997 (Figure 4 shows its central stencil block).
+--
+-- Structure, and what each part contributes to the communication profile:
+--   * setup: boundary preparation statements that re-read the same X/Y
+--     slabs repeatedly — the redundancy the paper observes rr removing
+--     from "set up code";
+--   * main repeat body: the Figure 4 stencil block — 24 naive references,
+--     16 distinct, combining to 8 messages (X and Y pair up per offset);
+--   * two row-sweep tridiagonal solver loops (forward elimination and
+--     back substitution) with cross-iteration dependences that limit
+--     pipelining, exactly as §3.3.2 describes;
+--   * per-iteration residual reductions (rxm, rym).
+
+program tomcatv;
+
+config n     = 128;
+config iters = 50;
+
+region R        = [1..n, 1..n];
+region Interior = [2..n-1, 2..n-1];
+region Top      = [1..1, 1..n];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+direction ne    = [-1, 1];
+direction nw    = [-1, -1];
+direction se    = [1, 1];
+direction sw    = [1, -1];
+
+-- mesh coordinates and stencil workspaces
+var X, Y                 : [R] double;
+var XX, YX, XY, YY       : [R] double;
+var AA, BB, CC           : [R] double;
+var RX, RY               : [R] double;
+-- tridiagonal solver state (forward-elimination recurrences)
+var DD, PP, QX, QY, QR   : [R] double;
+var TP, TX, TY, TR       : [R] double;
+-- boundary workspaces
+var B1, B2, B3, B4, B5, B6, B7, B8 : [R] double;
+
+scalar rxm = 0.0;
+scalar rym = 0.0;
+
+begin
+  -- Mesh generation: a gently distorted unit grid.
+  [R] X := Index2 / n + 0.0625 * (Index1 / n) * (1.0 - Index1 / n);
+  [R] Y := Index1 / n + 0.0625 * (Index2 / n) * (1.0 - Index2 / n) * (Index1 / n);
+
+  -- Boundary preparation: generated setup code re-reads the same south
+  -- slabs of X and Y for each derived boundary quantity.
+  [Top] B1 := X@south + Y@south;
+  [Top] B2 := X@south - Y@south;
+  [Top] B3 := 2.0 * X@south + Y@south;
+  [Top] B4 := X@south + 2.0 * Y@south;
+  [Top] B5 := X@south * Y@south;
+  [Top] B6 := X@south / (Y@south + 2.0);
+  [Top] B7 := 0.5 * (X@south + Y@south);
+  [Top] B8 := max(X@south, Y@south);
+
+  repeat iters {
+    -- The Figure 4 stencil block.
+    [Interior] XX := X@east - X@west;
+    [Interior] YX := Y@east - Y@west;
+    [Interior] XY := X@south - X@north;
+    [Interior] YY := Y@south - Y@north;
+    [Interior] AA := 0.25 * (XY * XY + YY * YY);
+    [Interior] BB := 0.25 * (XX * XX + YX * YX);
+    [Interior] CC := 0.125 * (XX * XY + YX * YY);
+    [Interior] RX := AA * (X@east - 2.0 * X + X@west)
+                   + BB * (X@south - 2.0 * X + X@north)
+                   - CC * (X@se - X@ne - X@sw + X@nw);
+    [Interior] RY := AA * (Y@east - 2.0 * Y + Y@west)
+                   + BB * (Y@south - 2.0 * Y + Y@north)
+                   - CC * (Y@se - Y@ne - Y@sw + Y@nw);
+    rxm := max<< [Interior] abs(RX);
+    rym := max<< [Interior] abs(RY);
+
+    -- Seed the first solver row.
+    [1, 2..n-1] PP := 0.0;
+    [1, 2..n-1] QX := 0.0;
+    [1, 2..n-1] QY := 0.0;
+    [1, 2..n-1] QR := 0.0;
+
+    -- Forward elimination: row i depends on row i-1 (cross-iteration
+    -- dependence — pipelining finds no room here).
+    for i := 2 .. n-1 {
+      [i, 2..n-1] TP := PP@north;
+      [i, 2..n-1] TX := QX@north;
+      [i, 2..n-1] TY := QY@north;
+      [i, 2..n-1] TR := QR@north;
+      [i, 2..n-1] DD := 1.0 / (BB + 2.0 + TP);
+      [i, 2..n-1] PP := DD;
+      [i, 2..n-1] QX := (0.5 * RX + TX) * DD;
+      [i, 2..n-1] QY := (0.5 * RY + TY) * DD;
+      [i, 2..n-1] QR := (TR + 0.5 * TX) * DD;
+    }
+
+    -- Back substitution and mesh update, sweeping upward.
+    for j := n-1 .. 2 by -1 {
+      [j, 2..n-1] X := X + QX - 0.25 * PP * (X - X@south);
+      [j, 2..n-1] Y := Y + QY - 0.25 * PP * (Y - Y@south);
+    }
+  }
+end

@@ -1,0 +1,111 @@
+//! The synthetic two-node overhead benchmark of §3.2 (Figure 6).
+//!
+//! "The synthetic benchmark program sends a message from one node to
+//! another 10000 times. Between any of the four parts that require
+//! communication, a busy loop is executed. The loop performs enough
+//! computation to hide the transmission time. The execution time of that
+//! loop is then subtracted from the total time."
+//!
+//! [`overhead_pair`] builds two programs on a 1×2 processor grid: one
+//! whose iteration exchanges a column of `msg_doubles` values in each
+//! direction around a busy statement, and an identical one whose
+//! references are local. The harness runs both under the `pl` plan (so the
+//! wire time overlaps the busy work, leaving only the software overhead
+//! exposed) and reports `(T_comm - T_local) / iterations` — the per-
+//! transfer exposed cost plotted in Figure 6.
+
+use commopt_ir::offset::compass;
+use commopt_ir::{Expr, Program, ProgramBuilder, Rect, Region};
+
+/// Rows of busy work per iteration; sized so the busy statement's local
+/// compute dwarfs any message's wire time on both machines.
+const BUSY_ROWS: i64 = 4096;
+
+/// Builds the (communicating, local) program pair for one message size.
+pub fn overhead_pair(msg_doubles: i64, iterations: u64) -> (Program, Program) {
+    (build(msg_doubles, iterations, true), build(msg_doubles, iterations, false))
+}
+
+fn build(msg_doubles: i64, iterations: u64, comm: bool) -> Program {
+    assert!(msg_doubles >= 1);
+    let mut b = ProgramBuilder::new(if comm { "ping" } else { "ping_local" });
+    // Two columns, one per processor on the 1×2 grid; a column holds the
+    // message payload.
+    let bounds = Rect::d2((1, msg_doubles), (1, 2));
+    let a = b.array("A", bounds);
+    let d = b.array("D", bounds);
+    let recv_e = b.array("RE", bounds);
+    let recv_w = b.array("RW", bounds);
+    // Busy work, one column per processor.
+    let busy_bounds = Rect::d2((1, BUSY_ROWS), (1, 2));
+    let w = b.array("W", busy_bounds);
+
+    b.assign(Region::from_rect(bounds), a, Expr::Index(0) + Expr::Index(1));
+    b.assign(Region::from_rect(bounds), d, Expr::Index(0) - Expr::Index(1));
+    b.assign(Region::from_rect(busy_bounds), w, Expr::Const(1.0));
+
+    let col1 = Region::d2((1, msg_doubles), (1, 1));
+    let col2 = Region::d2((1, msg_doubles), (2, 2));
+    b.repeat(iterations, |b| {
+        // The busy loop: enough computation to hide the transmission.
+        b.assign(
+            Region::from_rect(busy_bounds),
+            w,
+            Expr::local(w) * Expr::Const(1.000001) + Expr::Const(0.000001),
+        );
+        if comm {
+            // Proc 0 reads proc 1's column and vice versa: each processor
+            // sends one message and receives one message per iteration.
+            b.assign(col1, recv_e, Expr::at(a, compass::EAST));
+            b.assign(col2, recv_w, Expr::at(d, compass::WEST));
+        } else {
+            b.assign(col1, recv_e, Expr::local(a));
+            b.assign(col2, recv_w, Expr::local(d));
+        }
+    });
+    b.finish()
+}
+
+/// The message sizes (in doubles) swept by Figure 6.
+pub fn figure6_sizes() -> Vec<i64> {
+    (0..=13).map(|k| 1i64 << k).collect() // 1 .. 8192 doubles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_core::{optimize, OptConfig};
+
+    #[test]
+    fn pair_differs_only_in_offsets() {
+        let (comm, local) = overhead_pair(64, 10);
+        assert_eq!(comm.arrays.len(), local.arrays.len());
+        assert_eq!(comm.stmt_count(), local.stmt_count());
+        let comm_opt = optimize(&comm, &OptConfig::pl());
+        let local_opt = optimize(&local, &OptConfig::pl());
+        assert_eq!(comm_opt.static_count(), 2);
+        assert_eq!(local_opt.static_count(), 0);
+    }
+
+    #[test]
+    fn per_iteration_transfer_count() {
+        let (comm, _) = overhead_pair(8, 100);
+        let opt = optimize(&comm, &OptConfig::pl());
+        assert_eq!(opt.dynamic_count(), 200); // 2 transfers per iteration
+    }
+
+    #[test]
+    fn sizes_span_the_knee() {
+        let sizes = figure6_sizes();
+        assert_eq!(*sizes.first().unwrap(), 1);
+        assert_eq!(*sizes.last().unwrap(), 8192);
+        assert!(sizes.contains(&512)); // the knee of §3.2
+    }
+
+    #[test]
+    fn programs_validate() {
+        let (comm, local) = overhead_pair(512, 3);
+        assert!(commopt_ir::validate(&comm).is_ok());
+        assert!(commopt_ir::validate(&local).is_ok());
+    }
+}

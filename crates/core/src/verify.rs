@@ -1,0 +1,393 @@
+//! Independent safety checker for optimized programs.
+//!
+//! [`verify_plan`] re-derives, from first principles, whether an
+//! instrumented program is *communication-safe*: every non-local read is
+//! backed by a delivered transfer whose data was current when sent, call
+//! ordering is respected, and no source buffer is overwritten while a
+//! message may still be in flight. It shares no code with the planner, so
+//! the property tests in this crate (and the workspace integration tests)
+//! use it as an oracle against every optimizer configuration.
+
+use commopt_ir::analysis::{stmt_comm_refs, CommRef};
+use commopt_ir::{ArrayId, Block, CallKind, Program, Stmt, TransferId};
+use std::collections::HashMap;
+
+/// A communication-safety violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// A non-local read with no covering transfer in the block.
+    MissingCommunication { stmt: String, r: String },
+    /// A non-local read whose ghost data is stale (the array was written
+    /// after the covering transfer's SR).
+    StaleData { stmt: String, r: String },
+    /// A non-local read before the covering transfer's DN executed.
+    UsedBeforeDelivery { r: String },
+    /// Calls of one transfer out of order (must satisfy DR ≤ SR ≤ DN and
+    /// SR ≤ SV within the block).
+    CallOrder { transfer: TransferId, detail: &'static str },
+    /// A call kind executed more than once, or missing, for a transfer.
+    CallMultiplicity { transfer: TransferId, kind: CallKind },
+    /// An array carried by an in-flight message (SR seen, SV not yet) was
+    /// overwritten.
+    VolatileSource { transfer: TransferId, array: ArrayId },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MissingCommunication { stmt, r } => {
+                write!(f, "no communication covers {r} used by {stmt}")
+            }
+            PlanError::StaleData { stmt, r } => {
+                write!(f, "stale ghost data for {r} used by {stmt}")
+            }
+            PlanError::UsedBeforeDelivery { r } => {
+                write!(f, "{r} read before its transfer's DN")
+            }
+            PlanError::CallOrder { transfer, detail } => {
+                write!(f, "calls of {transfer:?} out of order: {detail}")
+            }
+            PlanError::CallMultiplicity { transfer, kind } => {
+                write!(f, "{transfer:?} has wrong multiplicity of {}", kind.name())
+            }
+            PlanError::VolatileSource { transfer, array } => {
+                write!(f, "{array:?} overwritten while {transfer:?} in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Verifies the whole program, returning all violations found.
+///
+/// Ghost validity is threaded across basic blocks and into loops (killed
+/// conservatively for any array the loop body writes), so plans produced
+/// by the cross-block pass (`commopt_core::global`) verify too. Call
+/// multiplicity remains scoped to the block a transfer's calls appear in.
+pub fn verify_plan(program: &Program) -> Result<(), Vec<PlanError>> {
+    let mut errs = Vec::new();
+    let mut versions: HashMap<ArrayId, u64> = HashMap::new();
+    let mut ghosts: HashMap<CommRef, (TransferId, u64)> = HashMap::new();
+    verify_block(program, &program.body, &mut versions, &mut ghosts, &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// All arrays written anywhere in a block tree.
+fn written_in(block: &Block) -> Vec<ArrayId> {
+    let mut out = Vec::new();
+    commopt_ir::visit::walk_stmts(block, &mut |s, _| {
+        if let Some(a) = commopt_ir::arrays_written(s) {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+    });
+    out
+}
+
+#[derive(Default)]
+struct TransferState {
+    dr: u32,
+    sr: u32,
+    dn: u32,
+    sv: u32,
+    /// Write-version of each carried array at SR time.
+    versions_at_sr: Vec<(ArrayId, u64)>,
+}
+
+fn verify_block(
+    program: &Program,
+    block: &Block,
+    versions: &mut HashMap<ArrayId, u64>,
+    ghosts: &mut HashMap<CommRef, (TransferId, u64)>,
+    errs: &mut Vec<PlanError>,
+) {
+    // A transfer's four calls must all appear (exactly once) in the same
+    // statement list; this map is scoped to the current block.
+    let mut transfers: HashMap<TransferId, TransferState> = HashMap::new();
+
+    let flush = |transfers: &mut HashMap<TransferId, TransferState>,
+                 errs: &mut Vec<PlanError>| {
+        for (id, st) in transfers.drain() {
+            for (kind, n) in [
+                (CallKind::DR, st.dr),
+                (CallKind::SR, st.sr),
+                (CallKind::DN, st.dn),
+                (CallKind::SV, st.sv),
+            ] {
+                if n != 1 {
+                    errs.push(PlanError::CallMultiplicity { transfer: id, kind });
+                }
+            }
+        }
+    };
+
+    for stmt in block.iter() {
+        match stmt {
+            Stmt::Comm { kind, transfer } => {
+                let st = transfers.entry(*transfer).or_default();
+                match kind {
+                    CallKind::DR => st.dr += 1,
+                    CallKind::SR => {
+                        if st.dr == 0 {
+                            errs.push(PlanError::CallOrder {
+                                transfer: *transfer,
+                                detail: "SR before DR",
+                            });
+                        }
+                        st.sr += 1;
+                        st.versions_at_sr = program
+                            .transfer(*transfer)
+                            .items
+                            .iter()
+                            .map(|it| (it.array, *versions.get(&it.array).unwrap_or(&0)))
+                            .collect();
+                    }
+                    CallKind::DN => {
+                        if st.sr == 0 {
+                            errs.push(PlanError::CallOrder {
+                                transfer: *transfer,
+                                detail: "DN before SR",
+                            });
+                        }
+                        st.dn += 1;
+                        for it in &program.transfer(*transfer).items {
+                            let v = st
+                                .versions_at_sr
+                                .iter()
+                                .find(|(a, _)| *a == it.array)
+                                .map(|(_, v)| *v)
+                                .unwrap_or(0);
+                            ghosts.insert(
+                                CommRef { array: it.array, offset: it.offset },
+                                (*transfer, v),
+                            );
+                        }
+                    }
+                    CallKind::SV => {
+                        if st.sr == 0 {
+                            errs.push(PlanError::CallOrder {
+                                transfer: *transfer,
+                                detail: "SV before SR",
+                            });
+                        }
+                        st.sv += 1;
+                    }
+                }
+            }
+            Stmt::Repeat { body, .. } | Stmt::For { body, .. } => {
+                // Conservative loop entry: every ghost whose array the body
+                // writes may be stale on later iterations.
+                let killed = written_in(body);
+                ghosts.retain(|r, _| !killed.contains(&r.array));
+                verify_block(program, body, versions, ghosts, errs);
+                ghosts.retain(|r, _| !killed.contains(&r.array));
+            }
+            source => {
+                // Reads first (RHS values are pre-statement).
+                for r in stmt_comm_refs(source) {
+                    match ghosts.get(&r) {
+                        None => errs.push(PlanError::MissingCommunication {
+                            stmt: format!("{source:?}"),
+                            r: format!("{r:?}"),
+                        }),
+                        Some((_, v_sr)) => {
+                            let now = *versions.get(&r.array).unwrap_or(&0);
+                            if *v_sr != now {
+                                errs.push(PlanError::StaleData {
+                                    stmt: format!("{source:?}"),
+                                    r: format!("{r:?}"),
+                                });
+                            }
+                        }
+                    }
+                }
+                // Then the write.
+                if let Some(w) = commopt_ir::arrays_written(source) {
+                    *versions.entry(w).or_insert(0) += 1;
+                    // Source-volatility: any in-flight message carrying `w`
+                    // must have completed (SV executed).
+                    for (id, st) in &transfers {
+                        if st.sr > 0
+                            && st.sv == 0
+                            && program.transfer(*id).items.iter().any(|it| it.array == w)
+                        {
+                            errs.push(PlanError::VolatileSource { transfer: *id, array: w });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut transfers, errs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptConfig;
+    use crate::emit::optimize_program;
+    use commopt_ir::offset::compass;
+    use commopt_ir::{Expr, ProgramBuilder, Rect, Region, TransferItem};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let bounds = Rect::d2((1, 16), (1, 16));
+        let r = Region::d2((2, 15), (2, 15));
+        let x = b.array("X", bounds);
+        let y = b.array("Y", bounds);
+        let a = b.array("A", bounds);
+        b.assign(r, x, Expr::Const(1.0));
+        b.assign(r, a, Expr::at(x, compass::EAST) + Expr::at(y, compass::EAST));
+        b.repeat(3, |b| {
+            b.assign(r, y, Expr::at(x, compass::NORTH));
+            b.assign(r, x, Expr::at(y, compass::SOUTH));
+            b.assign(r, a, Expr::at(x, compass::NORTH) - Expr::at(x, compass::SOUTH));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn all_presets_verify_on_sample() {
+        let p = sample_program();
+        for (name, cfg) in OptConfig::presets() {
+            let opt = optimize_program(&p, &cfg);
+            verify_plan(&opt.program).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn detects_missing_communication() {
+        // Hand-build a program with a shifted read and no comm calls.
+        let mut b = ProgramBuilder::new("bad");
+        let bounds = Rect::d2((1, 8), (1, 8));
+        let r = Region::d2((2, 7), (2, 7));
+        let x = b.array("X", bounds);
+        let a = b.array("A", bounds);
+        b.assign(r, a, Expr::at(x, compass::EAST));
+        let p = b.finish();
+        let errs = verify_plan(&p).unwrap_err();
+        assert!(matches!(errs[0], PlanError::MissingCommunication { .. }));
+    }
+
+    #[test]
+    fn detects_stale_data() {
+        // Comm X@e, then overwrite X, then read X@e without re-communication.
+        let mut p = Program::new("bad");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DR, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::comm(CallKind::DN, t),
+            Stmt::comm(CallKind::SV, t),
+            Stmt::assign(r, x, Expr::Const(2.0)),
+            Stmt::assign(r, a, Expr::at(x, compass::EAST)),
+        ]);
+        let errs = verify_plan(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, PlanError::StaleData { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_call_disorder_and_multiplicity() {
+        let mut p = Program::new("bad");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let r = Region::d2((2, 7), (2, 7));
+        // DN before SR, and DR/SV missing entirely.
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DN, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::assign(r, a, Expr::at(x, compass::EAST)),
+        ]);
+        let errs = verify_plan(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, PlanError::CallOrder { .. })));
+        assert!(errs.iter().any(|e| matches!(e, PlanError::CallMultiplicity { .. })));
+    }
+
+    #[test]
+    fn detects_volatile_source() {
+        // SR, then overwrite the sent array before SV.
+        let mut p = Program::new("bad");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DR, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::comm(CallKind::DN, t),
+            Stmt::assign(r, a, Expr::at(x, compass::EAST)),
+            Stmt::assign(r, x, Expr::Const(0.0)), // X volatile, SV not seen
+            Stmt::comm(CallKind::SV, t),
+        ]);
+        let errs = verify_plan(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, PlanError::VolatileSource { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn carried_ghosts_are_killed_when_the_loop_writes_the_array() {
+        // Communication before the loop does NOT cover a use inside it when
+        // the body also writes the communicated array (stale on iteration
+        // 2+, so the verifier must reject the very first use).
+        let mut p = Program::new("bad");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DR, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::comm(CallKind::DN, t),
+            Stmt::comm(CallKind::SV, t),
+            Stmt::Repeat {
+                count: 2,
+                body: Block::new(vec![
+                    Stmt::assign(r, a, Expr::at(x, compass::EAST)),
+                    Stmt::assign(r, x, Expr::Const(0.0)),
+                ]),
+            },
+        ]);
+        let errs = verify_plan(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, PlanError::MissingCommunication { .. })));
+    }
+
+    #[test]
+    fn loop_invariant_ghosts_may_cross_loop_boundaries() {
+        // When the body never writes X, a pre-loop communication legally
+        // covers uses on every iteration (the cross-block pass relies on
+        // this).
+        let mut p = Program::new("ok");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((2, 7), (2, 7)))]);
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DR, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::comm(CallKind::DN, t),
+            Stmt::comm(CallKind::SV, t),
+            Stmt::Repeat {
+                count: 2,
+                body: Block::new(vec![Stmt::assign(r, a, Expr::at(x, compass::EAST))]),
+            },
+        ]);
+        assert!(verify_plan(&p).is_ok());
+    }
+
+    #[test]
+    fn error_display_renders() {
+        let e = PlanError::CallOrder { transfer: TransferId(3), detail: "DN before SR" };
+        assert!(e.to_string().contains("DN before SR"));
+    }
+
+    use commopt_ir::{Block, CallKind, Stmt};
+}

@@ -1,0 +1,155 @@
+//! Statement-level dataflow queries used by the communication optimizer.
+
+use crate::expr::{Expr, ScalarRhs};
+use crate::ids::ArrayId;
+use crate::offset::Offset;
+use crate::stmt::Stmt;
+
+/// A non-local array reference: the pair the optimizer reasons about.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CommRef {
+    pub array: ArrayId,
+    pub offset: Offset,
+}
+
+/// The distinct non-zero-offset references of an expression, in first-use
+/// order (the order naive communication generation emits them).
+pub fn comm_refs(expr: &Expr) -> Vec<CommRef> {
+    let mut out: Vec<CommRef> = Vec::new();
+    expr.walk(&mut |e| {
+        if let Expr::Ref { array, offset } = e {
+            if !offset.is_zero() {
+                let r = CommRef { array: *array, offset: *offset };
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// The distinct non-local references of a statement (empty for loops and
+/// communication calls — loops are block boundaries and handled
+/// recursively by the optimizer).
+pub fn stmt_comm_refs(stmt: &Stmt) -> Vec<CommRef> {
+    match stmt {
+        Stmt::Assign { rhs, .. } => comm_refs(rhs),
+        Stmt::ScalarAssign { rhs: ScalarRhs::Reduce { expr, .. }, .. } => comm_refs(expr),
+        _ => Vec::new(),
+    }
+}
+
+/// All arrays read by an expression (with any offset, including zero).
+pub fn arrays_read(expr: &Expr) -> Vec<ArrayId> {
+    let mut out = Vec::new();
+    expr.walk(&mut |e| {
+        if let Expr::Ref { array, .. } = e {
+            if !out.contains(array) {
+                out.push(*array);
+            }
+        }
+    });
+    out
+}
+
+/// The array written by a statement, if any.
+pub fn arrays_written(stmt: &Stmt) -> Option<ArrayId> {
+    match stmt {
+        Stmt::Assign { lhs, .. } => Some(*lhs),
+        _ => None,
+    }
+}
+
+/// A rough per-element floating-point operation count for an expression —
+/// the computation cost model's input. Every operator counts 1; transcendental
+/// unaries count more, reflecting their real relative cost.
+pub fn expr_flops(expr: &Expr) -> u32 {
+    let mut n = 0;
+    expr.walk(&mut |e| {
+        n += match e {
+            Expr::Binary { .. } => 1,
+            Expr::Unary { op, .. } => match op {
+                crate::expr::UnaryOp::Neg | crate::expr::UnaryOp::Abs => 1,
+                crate::expr::UnaryOp::Sqrt => 8,
+                crate::expr::UnaryOp::Exp | crate::expr::UnaryOp::Ln => 16,
+            },
+            _ => 0,
+        };
+    });
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offset::compass;
+    use crate::region::Region;
+
+    fn shifted(a: u32, o: Offset) -> Expr {
+        Expr::at(ArrayId(a), o)
+    }
+
+    #[test]
+    fn comm_refs_dedup_and_order() {
+        // B@east - B@west + B@east : two distinct refs, east first.
+        let e = shifted(0, compass::EAST) - shifted(0, compass::WEST) + shifted(0, compass::EAST);
+        let refs = comm_refs(&e);
+        assert_eq!(
+            refs,
+            vec![
+                CommRef { array: ArrayId(0), offset: compass::EAST },
+                CommRef { array: ArrayId(0), offset: compass::WEST },
+            ]
+        );
+    }
+
+    #[test]
+    fn local_refs_not_communication() {
+        let e = Expr::local(ArrayId(0)) + shifted(1, compass::NORTH);
+        let refs = comm_refs(&e);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].array, ArrayId(1));
+    }
+
+    #[test]
+    fn stmt_refs_cover_reductions() {
+        let s = Stmt::ScalarAssign {
+            lhs: crate::ids::ScalarId(0),
+            rhs: ScalarRhs::Reduce {
+                op: crate::expr::ReduceOp::Max,
+                region: Region::d2((1, 4), (1, 4)),
+                expr: shifted(0, compass::EAST),
+            },
+        };
+        assert_eq!(stmt_comm_refs(&s).len(), 1);
+    }
+
+    #[test]
+    fn loops_have_no_direct_refs() {
+        let s = Stmt::Repeat { count: 2, body: crate::stmt::Block::default() };
+        assert!(stmt_comm_refs(&s).is_empty());
+    }
+
+    #[test]
+    fn reads_and_writes() {
+        let s = Stmt::assign(
+            Region::d2((1, 4), (1, 4)),
+            ArrayId(0),
+            Expr::local(ArrayId(1)) * shifted(2, compass::SE),
+        );
+        assert_eq!(arrays_written(&s), Some(ArrayId(0)));
+        if let Stmt::Assign { rhs, .. } = &s {
+            assert_eq!(arrays_read(rhs), vec![ArrayId(1), ArrayId(2)]);
+        }
+    }
+
+    #[test]
+    fn flop_counting() {
+        let e = shifted(0, compass::EAST) - shifted(0, compass::WEST);
+        assert_eq!(expr_flops(&e), 1);
+        let e2 = Expr::un(crate::expr::UnaryOp::Sqrt, e);
+        assert_eq!(expr_flops(&e2), 9);
+        assert_eq!(expr_flops(&Expr::Const(0.0)), 1); // floor of 1
+    }
+}

@@ -1,0 +1,194 @@
+//! A fluent builder for constructing programs in Rust.
+//!
+//! ```
+//! use commopt_ir::{ProgramBuilder, Rect, Region, Expr, offset::compass};
+//!
+//! let mut b = ProgramBuilder::new("example");
+//! let bounds = Rect::d2((1, 8), (1, 8));
+//! let interior = Region::d2((2, 7), (2, 7));
+//! let a = b.array("A", bounds);
+//! let x = b.array("B", bounds);
+//! b.assign(Region::from_rect(bounds), x, Expr::Index(0));
+//! b.repeat(10, |b| {
+//!     b.assign(interior, a, Expr::at(x, compass::EAST) + Expr::at(x, compass::WEST));
+//! });
+//! let program = b.finish();
+//! assert_eq!(program.stmt_count(), 3);
+//! ```
+
+use crate::expr::{Expr, ReduceOp, ScalarRhs};
+use crate::ids::{ArrayId, LoopVarId, ScalarId};
+use crate::program::Program;
+use crate::region::{AffineBound, Rect, Region};
+use crate::stmt::{Block, Stmt};
+
+/// Builds a [`Program`] incrementally. Loop bodies are built through
+/// closures, which keeps nesting explicit and un-forgettable.
+pub struct ProgramBuilder {
+    program: Program,
+    /// Stack of open statement lists; the last entry is the innermost open
+    /// block. `finish` requires exactly the root to remain.
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder { program: Program::new(name), stack: vec![Vec::new()] }
+    }
+
+    /// Declares an array over `rect`.
+    pub fn array(&mut self, name: impl Into<String>, rect: Rect) -> ArrayId {
+        self.program.add_array(name, rect)
+    }
+
+    /// Declares several same-shape arrays at once.
+    pub fn arrays<const N: usize>(&mut self, names: [&str; N], rect: Rect) -> [ArrayId; N] {
+        names.map(|n| self.program.add_array(n, rect))
+    }
+
+    /// Declares a scalar with an initial value.
+    pub fn scalar(&mut self, name: impl Into<String>, init: f64) -> ScalarId {
+        self.program.add_scalar(name, init)
+    }
+
+    /// Appends `[region] lhs := rhs`.
+    pub fn assign(&mut self, region: Region, lhs: ArrayId, rhs: Expr) -> &mut Self {
+        self.push(Stmt::Assign { region, lhs, rhs });
+        self
+    }
+
+    /// Appends a scalar assignment from a pure scalar expression.
+    pub fn scalar_assign(&mut self, lhs: ScalarId, rhs: Expr) -> &mut Self {
+        self.push(Stmt::ScalarAssign { lhs, rhs: ScalarRhs::Expr(rhs) });
+        self
+    }
+
+    /// Appends `lhs := op<< [region] expr` (a full reduction).
+    pub fn reduce(&mut self, lhs: ScalarId, op: ReduceOp, region: Region, expr: Expr) -> &mut Self {
+        self.push(Stmt::ScalarAssign { lhs, rhs: ScalarRhs::Reduce { op, region, expr } });
+        self
+    }
+
+    /// Appends `repeat count { ... }`, building the body inside `f`.
+    pub fn repeat(&mut self, count: u64, f: impl FnOnce(&mut Self)) -> &mut Self {
+        self.stack.push(Vec::new());
+        f(self);
+        let body = Block::new(self.stack.pop().expect("builder stack underflow"));
+        self.push(Stmt::Repeat { count, body });
+        self
+    }
+
+    /// Appends `for name := lo .. hi { ... }` (step +1), passing the new
+    /// loop variable to the body closure.
+    pub fn for_up(
+        &mut self,
+        name: &str,
+        lo: impl Into<AffineBound>,
+        hi: impl Into<AffineBound>,
+        f: impl FnOnce(&mut Self, LoopVarId),
+    ) -> &mut Self {
+        self.for_loop(name, lo, hi, 1, f)
+    }
+
+    /// Appends `for name := lo .. hi by -1 { ... }` (downward sweep).
+    pub fn for_down(
+        &mut self,
+        name: &str,
+        lo: impl Into<AffineBound>,
+        hi: impl Into<AffineBound>,
+        f: impl FnOnce(&mut Self, LoopVarId),
+    ) -> &mut Self {
+        self.for_loop(name, lo, hi, -1, f)
+    }
+
+    fn for_loop(
+        &mut self,
+        name: &str,
+        lo: impl Into<AffineBound>,
+        hi: impl Into<AffineBound>,
+        step: i64,
+        f: impl FnOnce(&mut Self, LoopVarId),
+    ) -> &mut Self {
+        let var = self.program.add_loop_var(name);
+        self.stack.push(Vec::new());
+        f(self, var);
+        let body = Block::new(self.stack.pop().expect("builder stack underflow"));
+        self.push(Stmt::For { var, lo: lo.into(), hi: hi.into(), step, body });
+        self
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.stack.last_mut().expect("builder stack underflow").push(stmt);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    /// Panics if called while a loop body is still open (impossible through
+    /// the closure API).
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.stack.len(), 1, "unclosed loop body");
+        self.program.body = Block::new(self.stack.pop().unwrap());
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offset::compass;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new("t");
+        let bounds = Rect::d2((1, 8), (1, 8));
+        let r = Region::from_rect(bounds);
+        let a = b.array("A", bounds);
+        let x = b.array("X", bounds);
+        let err = b.scalar("err", 0.0);
+        b.assign(r, x, Expr::Const(1.0));
+        b.repeat(5, |b| {
+            b.assign(r, a, Expr::at(x, compass::EAST));
+            b.reduce(err, ReduceOp::Max, r, Expr::local(a));
+        });
+        let p = b.finish();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.scalars.len(), 1);
+        assert_eq!(p.body.len(), 2);
+        match &p.body.0[1] {
+            Stmt::Repeat { count: 5, body } => assert_eq!(body.len(), 2),
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loops_declare_vars() {
+        let mut b = ProgramBuilder::new("t");
+        let bounds = Rect::d2((1, 8), (1, 8));
+        let a = b.array("A", bounds);
+        b.for_up("i", 2, 7, |b, i| {
+            b.assign(Region::row2(i, (1, 8)), a, Expr::LoopVar(i));
+        });
+        b.for_down("j", 7, 2, |b, j| {
+            b.assign(Region::row2(j, (1, 8)), a, Expr::LoopVar(j));
+        });
+        let p = b.finish();
+        assert_eq!(p.loop_vars.len(), 2);
+        assert_eq!(p.loop_var(LoopVarId(0)).name, "i");
+        match &p.body.0[1] {
+            Stmt::For { step, .. } => assert_eq!(*step, -1),
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrays_bulk_declaration() {
+        let mut b = ProgramBuilder::new("t");
+        let [x, y, z] = b.arrays(["X", "Y", "Z"], Rect::d2((1, 4), (1, 4)));
+        let p = b.finish();
+        assert_eq!(p.array(x).name, "X");
+        assert_eq!(p.array(y).name, "Y");
+        assert_eq!(p.array(z).name, "Z");
+    }
+}

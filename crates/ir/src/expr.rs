@@ -1,0 +1,283 @@
+//! Whole-array expressions and scalar right-hand sides.
+//!
+//! Expressions are evaluated element-wise over a statement's region. The
+//! only non-local construct is [`Expr::Ref`] with a non-zero [`Offset`]:
+//! reading `B@east` at index `(i, j)` reads `B[i, j+1]`, which may live on a
+//! neighboring processor and therefore requires communication.
+
+use crate::ids::{ArrayId, LoopVarId, ScalarId};
+use crate::offset::Offset;
+use crate::region::Region;
+
+/// Binary element-wise operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operator to two values.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// The ZPL surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Unary element-wise operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    Neg,
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+}
+
+impl UnaryOp {
+    /// Applies the operator to a value.
+    #[inline]
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -a,
+            UnaryOp::Abs => a.abs(),
+            UnaryOp::Sqrt => a.sqrt(),
+            UnaryOp::Exp => a.exp(),
+            UnaryOp::Ln => a.ln(),
+        }
+    }
+
+    /// The ZPL surface syntax for the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Ln => "ln",
+        }
+    }
+}
+
+/// Reduction operators for scalar assignments (`s := max<< A`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// The identity element of the reduction.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combines an accumulator with one more value.
+    #[inline]
+    pub fn fold(self, acc: f64, v: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Max => acc.max(v),
+            ReduceOp::Min => acc.min(v),
+        }
+    }
+
+    /// The ZPL surface syntax (`+<<`, `max<<`, `min<<`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "+<<",
+            ReduceOp::Max => "max<<",
+            ReduceOp::Min => "min<<",
+        }
+    }
+}
+
+/// A whole-array expression, evaluated element-wise over a region.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A floating-point literal, replicated over the region.
+    Const(f64),
+    /// A (replicated) scalar variable.
+    Scalar(ScalarId),
+    /// The current value of a loop variable, as a float.
+    LoopVar(LoopVarId),
+    /// ZPL's `IndexD` pseudo-array: the global index along dimension `d`
+    /// (0-based dimension; the value itself follows the array's bounds).
+    Index(u8),
+    /// An array reference, possibly shifted: `array @ offset`.
+    ///
+    /// A zero offset is a purely local read; a non-zero offset is the `@`
+    /// operator and is the sole source of point-to-point communication.
+    Ref { array: ArrayId, offset: Offset },
+    Unary { op: UnaryOp, a: Box<Expr> },
+    Binary { op: BinOp, a: Box<Expr>, b: Box<Expr> },
+}
+
+impl Expr {
+    /// A local (unshifted) reference to `array`.
+    pub fn local(array: ArrayId) -> Expr {
+        Expr::Ref { array, offset: Offset::ZERO }
+    }
+
+    /// A shifted reference `array @ offset`.
+    pub fn at(array: ArrayId, offset: Offset) -> Expr {
+        Expr::Ref { array, offset }
+    }
+
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary { op, a: Box::new(a), b: Box::new(b) }
+    }
+
+    pub fn un(op: UnaryOp, a: Expr) -> Expr {
+        Expr::Unary { op, a: Box::new(a) }
+    }
+
+    /// Visits every node of the expression tree (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { a, .. } => a.walk(f),
+            Expr::Binary { a, b, .. } => {
+                a.walk(f);
+                b.walk(f);
+            }
+            _ => {}
+        }
+    }
+}
+
+// Operator sugar so benchmark constructions stay readable.
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::un(UnaryOp::Neg, self)
+    }
+}
+impl From<f64> for Expr {
+    fn from(c: f64) -> Expr {
+        Expr::Const(c)
+    }
+}
+
+/// The right-hand side of a scalar assignment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScalarRhs {
+    /// A pure scalar expression (must not contain array references; the
+    /// validator enforces this).
+    Expr(Expr),
+    /// A full reduction of an array expression over a region.
+    ///
+    /// Reductions are collectives; the paper's communication counts cover
+    /// only `@`-induced point-to-point transfers (§3.1: "we will concentrate
+    /// on nearest-neighbor communication introduced by the shift operator"),
+    /// so reductions are executed and timed but never counted as
+    /// communications by the optimizer's metrics.
+    Reduce { op: ReduceOp, region: Region, expr: Expr },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offset::compass;
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn unary_apply() {
+        assert_eq!(UnaryOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnaryOp::Abs.apply(-2.0), 2.0);
+        assert_eq!(UnaryOp::Sqrt.apply(9.0), 3.0);
+        assert!((UnaryOp::Exp.apply(0.0) - 1.0).abs() < 1e-15);
+        assert!((UnaryOp::Ln.apply(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Max.fold(ReduceOp::Max.identity(), -5.0), -5.0);
+        assert_eq!(ReduceOp::Min.fold(ReduceOp::Min.identity(), 7.0), 7.0);
+        assert_eq!(ReduceOp::Sum.fold(1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn operator_sugar_builds_tree() {
+        let a = ArrayId(0);
+        let e = Expr::at(a, compass::EAST) - Expr::at(a, compass::WEST);
+        match &e {
+            Expr::Binary { op: BinOp::Sub, a: l, b: r } => {
+                assert_eq!(**l, Expr::at(ArrayId(0), compass::EAST));
+                assert_eq!(**r, Expr::at(ArrayId(0), compass::WEST));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let a = ArrayId(0);
+        let e = (Expr::local(a) + Expr::Const(1.0)) * Expr::Scalar(ScalarId(0));
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 5); // mul, add, ref, const, scalar
+    }
+}

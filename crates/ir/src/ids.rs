@@ -1,0 +1,73 @@
+//! Typed indices into the declaration tables of a [`crate::Program`].
+//!
+//! Each id is a thin `u32` newtype; ids are only meaningful relative to the
+//! program that allocated them. Using distinct types prevents accidentally
+//! indexing the scalar table with an array id and vice versa.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The position of the declaration in its program table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a table position.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id out of range"))
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a parallel array declared in a [`crate::Program`].
+    ArrayId
+);
+define_id!(
+    /// Identifies a scalar variable declared in a [`crate::Program`].
+    ///
+    /// Scalars are replicated on every processor in the SPMD model; a
+    /// reduction assignment leaves the same value everywhere.
+    ScalarId
+);
+define_id!(
+    /// Identifies a loop variable bound by a [`crate::Stmt::For`].
+    LoopVarId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let a = ArrayId::from_index(7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a, ArrayId(7));
+    }
+
+    #[test]
+    fn debug_format_names_type() {
+        assert_eq!(format!("{:?}", ScalarId(3)), "ScalarId(3)");
+        assert_eq!(format!("{:?}", LoopVarId(0)), "LoopVarId(0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of range")]
+    fn from_index_overflow_panics() {
+        let _ = ArrayId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Static shift vectors — the right operand of ZPL's `@` operator.
+//!
+//! An [`Offset`] is a small integer vector, one component per array
+//! dimension, that names which neighbor's data a shifted reference needs.
+//! Offsets are compile-time constants in ZPL, which is what makes all
+//! communication statically detectable (paper §3.1). Components beyond a
+//! program's rank must be zero.
+
+use crate::region::MAX_RANK;
+
+/// A static shift vector of up to [`MAX_RANK`] components.
+///
+/// `Offset::new([0, 1, 0])` is the paper's `east` direction for a
+/// two-dimensional array: "shifted by one element in the second dimension".
+/// The all-zero offset denotes a purely local reference and never requires
+/// communication.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Offset(pub [i32; MAX_RANK]);
+
+impl Offset {
+    /// The purely local (no-communication) offset.
+    pub const ZERO: Offset = Offset([0; MAX_RANK]);
+
+    /// Builds an offset from explicit components.
+    #[inline]
+    pub const fn new(d: [i32; MAX_RANK]) -> Self {
+        Offset(d)
+    }
+
+    /// Builds a rank-2 offset `(d0, d1)`; the third component is zero.
+    #[inline]
+    pub const fn d2(d0: i32, d1: i32) -> Self {
+        Offset([d0, d1, 0])
+    }
+
+    /// Builds a rank-3 offset.
+    #[inline]
+    pub const fn d3(d0: i32, d1: i32, d2: i32) -> Self {
+        Offset([d0, d1, d2])
+    }
+
+    /// Component along dimension `d`.
+    #[inline]
+    pub fn get(&self, d: usize) -> i32 {
+        self.0[d]
+    }
+
+    /// `true` when every component is zero, i.e. the reference is local.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; MAX_RANK]
+    }
+
+    /// The Chebyshev radius `max_d |offset_d|` — the ghost-region width a
+    /// distributed array needs to satisfy this reference locally.
+    #[inline]
+    pub fn radius(&self) -> u32 {
+        self.0.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0)
+    }
+
+    /// `true` when all components beyond `rank` are zero.
+    pub fn fits_rank(&self, rank: usize) -> bool {
+        self.0[rank..].iter().all(|&c| c == 0)
+    }
+
+    /// Component-wise negation: the direction the *reply* would travel.
+    ///
+    /// In SPMD code, a processor reading `B@east` receives from its east
+    /// neighbor and (symmetrically) sends its own west boundary to its west
+    /// neighbor; the send direction is the negated offset.
+    #[inline]
+    pub fn negate(&self) -> Offset {
+        Offset([-self.0[0], -self.0[1], -self.0[2]])
+    }
+
+    /// A short human name for the common 2D compass offsets, if any.
+    pub fn compass_name(&self) -> Option<&'static str> {
+        match (self.0[0], self.0[1], self.0[2]) {
+            (0, 1, 0) => Some("east"),
+            (0, -1, 0) => Some("west"),
+            (1, 0, 0) => Some("south"),
+            (-1, 0, 0) => Some("north"),
+            (1, 1, 0) => Some("se"),
+            (-1, 1, 0) => Some("ne"),
+            (1, -1, 0) => Some("sw"),
+            (-1, -1, 0) => Some("nw"),
+            _ => None,
+        }
+    }
+}
+
+/// The eight 2D compass directions used throughout the paper's examples,
+/// following ZPL's convention: dimension 0 grows southward (row index),
+/// dimension 1 grows eastward (column index).
+pub mod compass {
+    use super::Offset;
+
+    pub const EAST: Offset = Offset::d2(0, 1);
+    pub const WEST: Offset = Offset::d2(0, -1);
+    pub const SOUTH: Offset = Offset::d2(1, 0);
+    pub const NORTH: Offset = Offset::d2(-1, 0);
+    pub const SE: Offset = Offset::d2(1, 1);
+    pub const NE: Offset = Offset::d2(-1, 1);
+    pub const SW: Offset = Offset::d2(1, -1);
+    pub const NW: Offset = Offset::d2(-1, -1);
+
+    /// All eight compass directions, E/W/S/N first.
+    pub const ALL8: [Offset; 8] = [EAST, WEST, SOUTH, NORTH, SE, NE, SW, NW];
+}
+
+impl std::fmt::Debug for Offset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(name) = self.compass_name() {
+            write!(f, "@{name}")
+        } else {
+            write!(f, "@[{},{},{}]", self.0[0], self.0[1], self.0[2])
+        }
+    }
+}
+
+impl std::fmt::Display for Offset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::compass::*;
+    use super::*;
+
+    #[test]
+    fn zero_is_local() {
+        assert!(Offset::ZERO.is_zero());
+        assert_eq!(Offset::ZERO.radius(), 0);
+        assert!(!EAST.is_zero());
+    }
+
+    #[test]
+    fn radius_is_chebyshev() {
+        assert_eq!(EAST.radius(), 1);
+        assert_eq!(SE.radius(), 1);
+        assert_eq!(Offset::d2(-3, 2).radius(), 3);
+        assert_eq!(Offset::d3(0, 0, 5).radius(), 5);
+    }
+
+    #[test]
+    fn negate_round_trips() {
+        for o in ALL8 {
+            assert_eq!(o.negate().negate(), o);
+        }
+        assert_eq!(EAST.negate(), WEST);
+        assert_eq!(SE.negate(), NW);
+    }
+
+    #[test]
+    fn rank_fitting() {
+        assert!(EAST.fits_rank(2));
+        assert!(!Offset::d3(0, 0, 1).fits_rank(2));
+        assert!(Offset::d3(0, 0, 1).fits_rank(3));
+        assert!(Offset::d2(1, 0).fits_rank(2));
+        assert!(!Offset::d2(1, 1).fits_rank(1));
+    }
+
+    #[test]
+    fn compass_names() {
+        assert_eq!(format!("{EAST}"), "@east");
+        assert_eq!(format!("{NW}"), "@nw");
+        assert_eq!(format!("{}", Offset::d2(0, 2)), "@[0,2,0]");
+    }
+
+    #[test]
+    fn all8_are_distinct_unit_radius() {
+        for (i, a) in ALL8.iter().enumerate() {
+            assert_eq!(a.radius(), 1);
+            for b in &ALL8[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Index sets: concrete rectangles ([`Rect`]) and loop-relative regions
+//! ([`Region`]).
+//!
+//! ZPL statements execute over a *region* — a rectangular set of indices.
+//! Most regions in the benchmark programs are fixed (`[1..n, 1..n]`), but
+//! the tridiagonal-solver row sweeps of TOMCATV and the ADI sweeps of SP use
+//! regions whose bounds involve the enclosing loop variable (`[i..i, 1..n]`).
+//! A [`Region`] therefore stores *affine bounds* (`var + constant`) and is
+//! evaluated against a [`LoopEnv`] to produce a concrete [`Rect`].
+//!
+//! Bounds are inclusive on both ends, following ZPL's `[lo..hi]` notation.
+
+// Dimension loops deliberately index several parallel arrays by `d`.
+#![allow(clippy::needless_range_loop)]
+
+use crate::ids::LoopVarId;
+
+/// Maximum array rank supported by the IR (the paper's benchmarks are 2D;
+/// SP is 3D).
+pub const MAX_RANK: usize = 3;
+
+/// A concrete rectangular index set with inclusive bounds.
+///
+/// Dimensions beyond `rank` are stored as the degenerate range `0..=0` so
+/// that volume computations can treat all [`MAX_RANK`] dimensions uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    pub rank: usize,
+    pub lo: [i64; MAX_RANK],
+    pub hi: [i64; MAX_RANK],
+}
+
+impl Rect {
+    /// A rank-`rank` rectangle from inclusive bounds.
+    pub fn new(rank: usize, lo: [i64; MAX_RANK], hi: [i64; MAX_RANK]) -> Rect {
+        assert!((1..=MAX_RANK).contains(&rank), "rank must be 1..=3");
+        let mut lo = lo;
+        let mut hi = hi;
+        for d in rank..MAX_RANK {
+            lo[d] = 0;
+            hi[d] = 0;
+        }
+        Rect { rank, lo, hi }
+    }
+
+    /// The 2D rectangle `[r0lo..r0hi, r1lo..r1hi]`.
+    pub fn d2(r0: (i64, i64), r1: (i64, i64)) -> Rect {
+        Rect::new(2, [r0.0, r1.0, 0], [r0.1, r1.1, 0])
+    }
+
+    /// The 3D rectangle.
+    pub fn d3(r0: (i64, i64), r1: (i64, i64), r2: (i64, i64)) -> Rect {
+        Rect::new(3, [r0.0, r1.0, r2.0], [r0.1, r1.1, r2.1])
+    }
+
+    /// The 1D rectangle `[lo..hi]`.
+    pub fn d1(r0: (i64, i64)) -> Rect {
+        Rect::new(1, [r0.0, 0, 0], [r0.1, 0, 0])
+    }
+
+    /// Number of indices along dimension `d` (zero if the range is empty).
+    #[inline]
+    pub fn extent(&self, d: usize) -> i64 {
+        (self.hi[d] - self.lo[d] + 1).max(0)
+    }
+
+    /// Total number of indices; zero when any dimension is empty.
+    pub fn count(&self) -> u64 {
+        let mut n: u64 = 1;
+        for d in 0..MAX_RANK {
+            n = n.saturating_mul(self.extent(d) as u64);
+        }
+        n
+    }
+
+    /// `true` when the rectangle contains no indices.
+    pub fn is_empty(&self) -> bool {
+        (0..self.rank).any(|d| self.hi[d] < self.lo[d])
+    }
+
+    /// `true` when `idx` lies inside the rectangle.
+    pub fn contains(&self, idx: [i64; MAX_RANK]) -> bool {
+        (0..MAX_RANK).all(|d| self.lo[d] <= idx[d] && idx[d] <= self.hi[d])
+    }
+
+    /// The largest rectangle contained in both operands (possibly empty).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        assert_eq!(self.rank, other.rank, "rank mismatch in intersect");
+        let mut lo = [0; MAX_RANK];
+        let mut hi = [0; MAX_RANK];
+        for d in 0..MAX_RANK {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+        }
+        Rect { rank: self.rank, lo, hi }
+    }
+
+    /// The rectangle translated by `delta` (component-wise addition).
+    pub fn shifted(&self, delta: [i64; MAX_RANK]) -> Rect {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..MAX_RANK {
+            lo[d] += delta[d];
+            hi[d] += delta[d];
+        }
+        Rect { rank: self.rank, lo, hi }
+    }
+
+    /// The rectangle grown by `g` on every side of every real dimension —
+    /// the footprint of a distributed block including its ghost ring.
+    pub fn grown(&self, g: i64) -> Rect {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..self.rank {
+            lo[d] -= g;
+            hi[d] += g;
+        }
+        Rect { rank: self.rank, lo, hi }
+    }
+
+    /// Visits every index in row-major order (last dimension fastest).
+    pub fn for_each(&self, mut f: impl FnMut([i64; MAX_RANK])) {
+        if self.is_empty() {
+            return;
+        }
+        let mut idx = self.lo;
+        loop {
+            f(idx);
+            // Row-major increment: bump the last dimension, carrying left.
+            let mut d = MAX_RANK - 1;
+            loop {
+                idx[d] += 1;
+                if idx[d] <= self.hi[d] {
+                    break;
+                }
+                idx[d] = self.lo[d];
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for d in 0..self.rank {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}..{}", self.lo[d], self.hi[d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One inclusive bound of a region dimension: `var + c`, or just `c` when
+/// `var` is `None`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AffineBound {
+    pub var: Option<LoopVarId>,
+    pub c: i64,
+}
+
+impl AffineBound {
+    /// A constant bound.
+    pub const fn constant(c: i64) -> AffineBound {
+        AffineBound { var: None, c }
+    }
+
+    /// The bound `var + c`.
+    pub const fn var_plus(var: LoopVarId, c: i64) -> AffineBound {
+        AffineBound { var: Some(var), c }
+    }
+
+    /// Evaluates against a loop environment.
+    ///
+    /// # Panics
+    /// Panics if the bound references a variable not bound in `env`; the
+    /// validator guarantees well-scoped programs never hit this.
+    pub fn eval(&self, env: &LoopEnv) -> i64 {
+        match self.var {
+            None => self.c,
+            Some(v) => env.get(v) + self.c,
+        }
+    }
+
+    /// `true` when the bound does not reference any loop variable.
+    pub fn is_constant(&self) -> bool {
+        self.var.is_none()
+    }
+}
+
+impl From<i64> for AffineBound {
+    fn from(c: i64) -> Self {
+        AffineBound::constant(c)
+    }
+}
+
+/// An inclusive range `lo..hi` of affine bounds for one dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DimRange {
+    pub lo: AffineBound,
+    pub hi: AffineBound,
+}
+
+impl DimRange {
+    pub fn new(lo: impl Into<AffineBound>, hi: impl Into<AffineBound>) -> DimRange {
+        DimRange { lo: lo.into(), hi: hi.into() }
+    }
+}
+
+/// A possibly loop-relative rectangular region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Region {
+    pub rank: usize,
+    pub dims: [DimRange; MAX_RANK],
+}
+
+impl Region {
+    /// Builds a region from per-dimension ranges.
+    pub fn new(rank: usize, dims: [DimRange; MAX_RANK]) -> Region {
+        assert!((1..=MAX_RANK).contains(&rank), "rank must be 1..=3");
+        Region { rank, dims }
+    }
+
+    /// A fully constant region covering `rect`.
+    pub fn from_rect(rect: Rect) -> Region {
+        let mut dims = [DimRange::new(0, 0); MAX_RANK];
+        for d in 0..MAX_RANK {
+            dims[d] = DimRange::new(rect.lo[d], rect.hi[d]);
+        }
+        Region { rank: rect.rank, dims }
+    }
+
+    /// A constant 2D region.
+    pub fn d2(r0: (i64, i64), r1: (i64, i64)) -> Region {
+        Region::from_rect(Rect::d2(r0, r1))
+    }
+
+    /// A constant 3D region.
+    pub fn d3(r0: (i64, i64), r1: (i64, i64), r2: (i64, i64)) -> Region {
+        Region::from_rect(Rect::d3(r0, r1, r2))
+    }
+
+    /// The 2D row region `[i..i, lo..hi]` for a loop variable `i` —
+    /// the shape used by TOMCATV's tridiagonal row sweeps.
+    pub fn row2(var: LoopVarId, r1: (i64, i64)) -> Region {
+        Region {
+            rank: 2,
+            dims: [
+                DimRange::new(AffineBound::var_plus(var, 0), AffineBound::var_plus(var, 0)),
+                DimRange::new(r1.0, r1.1),
+                DimRange::new(0, 0),
+            ],
+        }
+    }
+
+    /// Evaluates all bounds against `env`, yielding a concrete [`Rect`].
+    pub fn eval(&self, env: &LoopEnv) -> Rect {
+        let mut lo = [0; MAX_RANK];
+        let mut hi = [0; MAX_RANK];
+        for d in 0..self.rank {
+            lo[d] = self.dims[d].lo.eval(env);
+            hi[d] = self.dims[d].hi.eval(env);
+        }
+        Rect { rank: self.rank, lo, hi }
+    }
+
+    /// `true` when no bound references a loop variable.
+    pub fn is_constant(&self) -> bool {
+        self.dims[..self.rank]
+            .iter()
+            .all(|r| r.lo.is_constant() && r.hi.is_constant())
+    }
+
+    /// All loop variables referenced by the region's bounds.
+    pub fn loop_vars(&self) -> Vec<LoopVarId> {
+        let mut vs = Vec::new();
+        for r in &self.dims[..self.rank] {
+            for b in [r.lo, r.hi] {
+                if let Some(v) = b.var {
+                    if !vs.contains(&v) {
+                        vs.push(v);
+                    }
+                }
+            }
+        }
+        vs
+    }
+}
+
+/// A stack of loop-variable bindings, pushed/popped as the executor enters
+/// and leaves `for` loops.
+#[derive(Clone, Debug, Default)]
+pub struct LoopEnv {
+    bindings: Vec<(LoopVarId, i64)>,
+}
+
+impl LoopEnv {
+    pub fn new() -> LoopEnv {
+        LoopEnv::default()
+    }
+
+    /// Pushes a binding (shadowing any earlier binding of the same var).
+    pub fn push(&mut self, var: LoopVarId, value: i64) {
+        self.bindings.push((var, value));
+    }
+
+    /// Pops the most recent binding.
+    pub fn pop(&mut self) {
+        self.bindings.pop();
+    }
+
+    /// Updates the innermost binding of `var` in place.
+    pub fn set(&mut self, var: LoopVarId, value: i64) {
+        for (v, val) in self.bindings.iter_mut().rev() {
+            if *v == var {
+                *val = value;
+                return;
+            }
+        }
+        panic!("loop variable {var:?} not bound");
+    }
+
+    /// The innermost binding of `var`.
+    ///
+    /// # Panics
+    /// Panics when `var` is unbound (validated programs never do this).
+    pub fn get(&self, var: LoopVarId) -> i64 {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|(_, val)| *val)
+            .unwrap_or_else(|| panic!("loop variable {var:?} not bound"))
+    }
+
+    /// Whether `var` currently has a binding.
+    pub fn is_bound(&self, var: LoopVarId) -> bool {
+        self.bindings.iter().any(|(v, _)| *v == var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_counts() {
+        let r = Rect::d2((1, 4), (1, 3));
+        assert_eq!(r.extent(0), 4);
+        assert_eq!(r.extent(1), 3);
+        assert_eq!(r.count(), 12);
+        assert!(!r.is_empty());
+        let e = Rect::d2((3, 2), (1, 5));
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn rect_d1_and_d3() {
+        assert_eq!(Rect::d1((1, 10)).count(), 10);
+        assert_eq!(Rect::d3((1, 2), (1, 3), (1, 4)).count(), 24);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::d2((1, 10), (1, 10));
+        let b = Rect::d2((5, 15), (0, 3));
+        let i = a.intersect(&b);
+        assert_eq!(i, Rect::d2((5, 10), (1, 3)));
+        let disjoint = a.intersect(&Rect::d2((11, 20), (1, 10)));
+        assert!(disjoint.is_empty());
+    }
+
+    #[test]
+    fn rect_shift_and_grow() {
+        let a = Rect::d2((1, 4), (1, 4));
+        assert_eq!(a.shifted([0, 1, 0]), Rect::d2((1, 4), (2, 5)));
+        assert_eq!(a.grown(1), Rect::d2((0, 5), (0, 5)));
+        // grown only touches real dimensions
+        assert_eq!(a.grown(1).count(), 36);
+    }
+
+    #[test]
+    fn rect_for_each_row_major() {
+        let r = Rect::d2((1, 2), (1, 2));
+        let mut seen = Vec::new();
+        r.for_each(|i| seen.push((i[0], i[1])));
+        assert_eq!(seen, vec![(1, 1), (1, 2), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn rect_for_each_empty_is_noop() {
+        let mut n = 0;
+        Rect::d2((2, 1), (1, 5)).for_each(|_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Rect::d2((1, 4), (2, 6));
+        assert!(r.contains([1, 2, 0]));
+        assert!(r.contains([4, 6, 0]));
+        assert!(!r.contains([0, 2, 0]));
+        assert!(!r.contains([1, 7, 0]));
+    }
+
+    #[test]
+    fn affine_region_eval() {
+        let i = LoopVarId(0);
+        let region = Region::row2(i, (1, 8));
+        assert!(!region.is_constant());
+        assert_eq!(region.loop_vars(), vec![i]);
+        let mut env = LoopEnv::new();
+        env.push(i, 5);
+        assert_eq!(region.eval(&env), Rect::d2((5, 5), (1, 8)));
+        env.set(i, 6);
+        assert_eq!(region.eval(&env), Rect::d2((6, 6), (1, 8)));
+    }
+
+    #[test]
+    fn constant_region_needs_no_env() {
+        let r = Region::d2((1, 8), (1, 8));
+        assert!(r.is_constant());
+        assert!(r.loop_vars().is_empty());
+        assert_eq!(r.eval(&LoopEnv::new()), Rect::d2((1, 8), (1, 8)));
+    }
+
+    #[test]
+    fn env_shadowing() {
+        let v = LoopVarId(1);
+        let mut env = LoopEnv::new();
+        env.push(v, 1);
+        env.push(v, 2);
+        assert_eq!(env.get(v), 2);
+        env.pop();
+        assert_eq!(env.get(v), 1);
+        assert!(env.is_bound(v));
+        env.pop();
+        assert!(!env.is_bound(v));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn env_unbound_panics() {
+        LoopEnv::new().get(LoopVarId(9));
+    }
+
+    #[test]
+    fn rect_debug() {
+        assert_eq!(format!("{:?}", Rect::d2((1, 4), (2, 6))), "[1..4, 2..6]");
+    }
+}

@@ -1,0 +1,127 @@
+//! Statements and blocks.
+//!
+//! The statement language is deliberately small: whole-array assignment,
+//! scalar assignment (possibly a reduction), two loop forms, and the
+//! communication calls the optimizer inserts. There is no data-dependent
+//! branching — like ZPL, control flow is statically known, which is what
+//! lets the compiler detect every communication statically (paper §1).
+
+use crate::comm::{CallKind, TransferId};
+use crate::expr::{Expr, ScalarRhs};
+use crate::ids::{ArrayId, LoopVarId, ScalarId};
+use crate::region::{AffineBound, Region};
+
+/// A sequence of statements.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    pub fn new(stmts: Vec<Stmt>) -> Block {
+        Block(stmts)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Stmt> {
+        self.0.iter()
+    }
+}
+
+/// One statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `[region] lhs := rhs` — element-wise whole-array assignment.
+    ///
+    /// RHS values are read *before* any element of the LHS is written
+    /// (ZPL semantics), so `A := A@east` is well-defined.
+    Assign {
+        region: Region,
+        lhs: ArrayId,
+        rhs: Expr,
+    },
+
+    /// `lhs := rhs` for a replicated scalar, possibly a reduction.
+    ScalarAssign { lhs: ScalarId, rhs: ScalarRhs },
+
+    /// `repeat count { body }` — fixed trip count loop.
+    Repeat { count: u64, body: Block },
+
+    /// `for var := lo .. hi [by step] { body }`.
+    ///
+    /// Executes with `var = lo, lo+step, ...` while `var` is within
+    /// `lo..=hi` (or `hi..=lo` for negative step). `step` is `±1`.
+    For {
+        var: LoopVarId,
+        lo: AffineBound,
+        hi: AffineBound,
+        step: i64,
+        body: Block,
+    },
+
+    /// An IRONMAN communication call inserted by the optimizer.
+    Comm { kind: CallKind, transfer: TransferId },
+}
+
+impl Stmt {
+    /// `true` for the statement kinds that may appear in *source* programs
+    /// (before communication generation).
+    pub fn is_source_stmt(&self) -> bool {
+        !matches!(self, Stmt::Comm { .. })
+    }
+
+    /// `true` for statements that terminate a source-level basic block
+    /// (loops; see paper §3.1 — optimization scope is a single basic block).
+    pub fn is_block_boundary(&self) -> bool {
+        matches!(self, Stmt::Repeat { .. } | Stmt::For { .. })
+    }
+
+    /// Convenience constructor for array assignment.
+    pub fn assign(region: Region, lhs: ArrayId, rhs: Expr) -> Stmt {
+        Stmt::Assign { region, lhs, rhs }
+    }
+
+    /// Convenience constructor for a communication call.
+    pub fn comm(kind: CallKind, transfer: TransferId) -> Stmt {
+        Stmt::Comm { kind, transfer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offset::Offset;
+
+    fn dummy_assign() -> Stmt {
+        Stmt::assign(
+            Region::d2((1, 4), (1, 4)),
+            ArrayId(0),
+            Expr::at(ArrayId(1), Offset::d2(0, 1)),
+        )
+    }
+
+    #[test]
+    fn block_basics() {
+        let b = Block::new(vec![dummy_assign()]);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert!(Block::default().is_empty());
+        assert_eq!(b.iter().count(), 1);
+    }
+
+    #[test]
+    fn boundary_classification() {
+        assert!(!dummy_assign().is_block_boundary());
+        let rep = Stmt::Repeat { count: 3, body: Block::default() };
+        assert!(rep.is_block_boundary());
+        assert!(rep.is_source_stmt());
+        let comm = Stmt::comm(CallKind::SR, TransferId(0));
+        assert!(!comm.is_source_stmt());
+        assert!(!comm.is_block_boundary());
+    }
+}

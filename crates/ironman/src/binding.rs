@@ -1,0 +1,221 @@
+//! IRONMAN call → primitive action bindings (paper Figure 5).
+
+use commopt_ir::CallKind;
+
+/// The abstract runtime actions an IRONMAN call can bind to.
+///
+/// These are the behaviours of the concrete routines in Figure 5, factored
+/// by their timing semantics rather than their names, so the simulator
+/// interprets each with per-machine costs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Action {
+    /// The call compiles away entirely.
+    Noop,
+    /// Synchronous, buffered send (`csend`, `pvm_send`): the CPU blocks
+    /// while the message is injected; delivery then proceeds without the
+    /// sender.
+    BlockingSend,
+    /// Asynchronous send (`isend`, `hsend`): the CPU pays an initiation
+    /// cost and continues; `WaitSend` later retires the handle.
+    AsyncSend,
+    /// Blocking receive (`crecv`, `pvm_recv`): the CPU waits for arrival
+    /// and pays the per-byte receive cost.
+    BlockingRecv,
+    /// Posts a receive buffer (`irecv`): cheap, non-blocking.
+    PostRecv,
+    /// Waits for a posted receive to complete (`msgwait`, `hrecv`).
+    WaitRecv,
+    /// Waits for an asynchronous send buffer to drain (`msgwait` on the
+    /// send handle).
+    WaitSend,
+    /// Probes for an incoming message without blocking (`hprobe`).
+    Probe,
+    /// One-way remote write (`shmem_put`): the sender deposits directly in
+    /// the receiver's memory; requires the receiver to have signalled
+    /// readiness (its DR-side `synch`).
+    Put,
+    /// Pairwise synchronization with the communication partner — the
+    /// heavyweight `synch` of the prototype SHMEM binding (paper §3.2:
+    /// "the synchronizations are unnecessarily heavy-weight").
+    Sync,
+}
+
+/// A complete DR/SR/DN/SV → [`Action`] table for one communication library.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Binding {
+    pub name: &'static str,
+    pub dr: Action,
+    pub sr: Action,
+    pub dn: Action,
+    pub sv: Action,
+}
+
+impl Binding {
+    /// The action a given IRONMAN call performs under this binding.
+    pub fn action(&self, call: CallKind) -> Action {
+        match call {
+            CallKind::DR => self.dr,
+            CallKind::SR => self.sr,
+            CallKind::DN => self.dn,
+            CallKind::SV => self.sv,
+        }
+    }
+
+    /// `true` when the send deposits data without receiver CPU involvement
+    /// (one-way communication).
+    pub fn is_one_way(&self) -> bool {
+        self.sr == Action::Put
+    }
+}
+
+/// The five communication libraries of the paper's experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Library {
+    /// Intel Paragon NX `csend`/`crecv` — basic message passing.
+    NxSync,
+    /// Intel Paragon NX `isend`/`irecv`/`msgwait` — asynchronous message
+    /// passing using the co-processor.
+    NxAsync,
+    /// Intel Paragon NX `hsend`/`hrecv`/`hprobe` — message passing with
+    /// callbacks.
+    NxCallback,
+    /// Cray T3D vendor-optimized PVM — message passing.
+    Pvm,
+    /// Cray T3D SHMEM — asynchronous one-way shared memory operations.
+    Shmem,
+}
+
+impl Library {
+    /// All five libraries, Paragon first (matching Figure 5's columns).
+    pub const ALL: [Library; 5] = [
+        Library::NxSync,
+        Library::NxAsync,
+        Library::NxCallback,
+        Library::Pvm,
+        Library::Shmem,
+    ];
+
+    /// The library's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Library::NxSync => "csend/crecv",
+            Library::NxAsync => "isend/irecv",
+            Library::NxCallback => "hsend/hrecv",
+            Library::Pvm => "PVM",
+            Library::Shmem => "SHMEM",
+        }
+    }
+
+    /// The machine the library belongs to.
+    pub fn machine_name(self) -> &'static str {
+        match self {
+            Library::NxSync | Library::NxAsync | Library::NxCallback => "Intel Paragon",
+            Library::Pvm | Library::Shmem => "Cray T3D",
+        }
+    }
+
+    /// The Figure 5 binding for this library.
+    pub fn binding(self) -> Binding {
+        match self {
+            Library::NxSync => Binding {
+                name: "NX message passing",
+                dr: Action::Noop,
+                sr: Action::BlockingSend,
+                dn: Action::BlockingRecv,
+                sv: Action::Noop,
+            },
+            Library::NxAsync => Binding {
+                name: "NX asynchronous",
+                dr: Action::PostRecv,
+                sr: Action::AsyncSend,
+                dn: Action::WaitRecv,
+                sv: Action::WaitSend,
+            },
+            Library::NxCallback => Binding {
+                name: "NX callback",
+                dr: Action::Probe,
+                sr: Action::AsyncSend,
+                dn: Action::WaitRecv,
+                sv: Action::WaitSend,
+            },
+            Library::Pvm => Binding {
+                name: "PVM",
+                dr: Action::Noop,
+                sr: Action::BlockingSend,
+                dn: Action::BlockingRecv,
+                sv: Action::Noop,
+            },
+            Library::Shmem => Binding {
+                name: "SHMEM",
+                dr: Action::Sync,
+                sr: Action::Put,
+                dn: Action::Sync,
+                sv: Action::Noop,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Library {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_nx_sync_row() {
+        let b = Library::NxSync.binding();
+        assert_eq!(b.action(CallKind::DR), Action::Noop);
+        assert_eq!(b.action(CallKind::SR), Action::BlockingSend);
+        assert_eq!(b.action(CallKind::DN), Action::BlockingRecv);
+        assert_eq!(b.action(CallKind::SV), Action::Noop);
+    }
+
+    #[test]
+    fn figure5_nx_async_row() {
+        let b = Library::NxAsync.binding();
+        assert_eq!(b.action(CallKind::DR), Action::PostRecv);
+        assert_eq!(b.action(CallKind::SR), Action::AsyncSend);
+        assert_eq!(b.action(CallKind::DN), Action::WaitRecv);
+        assert_eq!(b.action(CallKind::SV), Action::WaitSend);
+    }
+
+    #[test]
+    fn figure5_callback_row() {
+        let b = Library::NxCallback.binding();
+        assert_eq!(b.action(CallKind::DR), Action::Probe);
+        assert_eq!(b.action(CallKind::SV), Action::WaitSend);
+    }
+
+    #[test]
+    fn figure5_pvm_row() {
+        let b = Library::Pvm.binding();
+        assert_eq!(b.action(CallKind::SR), Action::BlockingSend);
+        assert_eq!(b.action(CallKind::DN), Action::BlockingRecv);
+        assert_eq!(b.action(CallKind::DR), Action::Noop);
+        assert_eq!(b.action(CallKind::SV), Action::Noop);
+    }
+
+    #[test]
+    fn figure5_shmem_row() {
+        let b = Library::Shmem.binding();
+        assert_eq!(b.action(CallKind::DR), Action::Sync);
+        assert_eq!(b.action(CallKind::SR), Action::Put);
+        assert_eq!(b.action(CallKind::DN), Action::Sync);
+        assert_eq!(b.action(CallKind::SV), Action::Noop);
+        assert!(b.is_one_way());
+        assert!(!Library::Pvm.binding().is_one_way());
+    }
+
+    #[test]
+    fn library_metadata() {
+        assert_eq!(Library::ALL.len(), 5);
+        assert_eq!(Library::Pvm.machine_name(), "Cray T3D");
+        assert_eq!(Library::NxAsync.machine_name(), "Intel Paragon");
+        assert_eq!(format!("{}", Library::Shmem), "SHMEM");
+    }
+}

@@ -1,0 +1,27 @@
+//! # commopt-ironman — the IRONMAN communication interface
+//!
+//! IRONMAN (Chamberlain, Choi & Snyder, 1996) is the architecture-
+//! independent communication interface the ZPL compiler targets: a single
+//! data transfer is expressed as four library calls — **DR**, **SR**, **DN**
+//! and **SV** — that demarcate the region of the program in which the
+//! transfer may occur. At link time each call maps to a concrete
+//! communication routine *or a no-op* on each platform (paper §3.1,
+//! Figure 5).
+//!
+//! This crate defines:
+//!
+//! * [`Action`] — the abstract runtime actions a call can map to
+//!   (blocking send, blocking receive, posted receive, wait, one-way put,
+//!   pairwise synchronization, probe, or no-op);
+//! * [`Binding`] — a complete DR/SR/DN/SV → action table;
+//! * [`Library`] — the five concrete communication libraries studied in
+//!   the paper, each with its Figure 5 binding.
+//!
+//! The discrete-event simulator (`commopt-sim`) interprets these actions
+//! with per-machine costs (`commopt-machine`), so the same optimized
+//! program runs unchanged on every binding — exactly the paper's
+//! "single source compilation" property.
+
+pub mod binding;
+
+pub use binding::{Action, Binding, Library};

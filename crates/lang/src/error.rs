@@ -1,0 +1,46 @@
+//! Frontend diagnostics.
+
+/// A byte span in the source, with 1-based line/column for messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A frontend error with location and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    pub span: Span,
+    pub message: String,
+}
+
+impl LangError {
+    pub fn new(span: Span, message: impl Into<String>) -> LangError {
+        LangError { span, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_location() {
+        let e = LangError::new(Span { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "error at 3:7: unexpected token");
+    }
+}

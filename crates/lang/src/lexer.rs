@@ -1,0 +1,257 @@
+//! The tokenizer.
+
+use crate::error::{LangError, Span};
+
+/// Token kinds. Keywords are recognized from identifiers by the parser's
+/// `kw` helper to keep the lexer small.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    // punctuation & operators
+    Semi,       // ;
+    Comma,      // ,
+    Colon,      // :
+    Assign,     // :=
+    Eq,         // =
+    LBracket,   // [
+    RBracket,   // ]
+    LBrace,     // {
+    RBrace,     // }
+    LParen,     // (
+    RParen,     // )
+    DotDot,     // ..
+    At,         // @
+    Plus,       // +
+    Minus,      // -
+    Star,       // *
+    Slash,      // /
+    Reduce,     // <<
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenizes the whole source. Comments run from `--` or `#` to newline.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = span!();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ';' => push1(&mut out, Tok::Semi, start, &mut i, &mut col),
+            ',' => push1(&mut out, Tok::Comma, start, &mut i, &mut col),
+            '[' => push1(&mut out, Tok::LBracket, start, &mut i, &mut col),
+            ']' => push1(&mut out, Tok::RBracket, start, &mut i, &mut col),
+            '{' => push1(&mut out, Tok::LBrace, start, &mut i, &mut col),
+            '}' => push1(&mut out, Tok::RBrace, start, &mut i, &mut col),
+            '(' => push1(&mut out, Tok::LParen, start, &mut i, &mut col),
+            ')' => push1(&mut out, Tok::RParen, start, &mut i, &mut col),
+            '@' => push1(&mut out, Tok::At, start, &mut i, &mut col),
+            '+' => push1(&mut out, Tok::Plus, start, &mut i, &mut col),
+            '-' => push1(&mut out, Tok::Minus, start, &mut i, &mut col),
+            '*' => push1(&mut out, Tok::Star, start, &mut i, &mut col),
+            '/' => push1(&mut out, Tok::Slash, start, &mut i, &mut col),
+            '=' => push1(&mut out, Tok::Eq, start, &mut i, &mut col),
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { tok: Tok::Assign, span: start });
+                    i += 2;
+                    col += 2;
+                } else {
+                    push1(&mut out, Tok::Colon, start, &mut i, &mut col);
+                }
+            }
+            '.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    out.push(Token { tok: Tok::DotDot, span: start });
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::new(start, "stray '.'"));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    out.push(Token { tok: Tok::Reduce, span: start });
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::new(start, "expected '<<'"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // A '.' starts a fraction only if not '..' (range).
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[s..i];
+                col += (i - s) as u32;
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| LangError::new(start, "bad float"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LangError::new(start, "bad integer"))?)
+                };
+                out.push(Token { tok, span: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                col += (i - s) as u32;
+                out.push(Token { tok: Tok::Ident(src[s..i].to_string()), span: start });
+            }
+            other => {
+                return Err(LangError::new(start, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, span: span!() });
+    Ok(out)
+}
+
+fn push1(out: &mut Vec<Token>, tok: Tok, span: Span, i: &mut usize, col: &mut u32) {
+    out.push(Token { tok, span });
+    *i += 1;
+    *col += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            toks(":= = .. << @ ; ,"),
+            vec![
+                Tok::Assign,
+                Tok::Eq,
+                Tok::DotDot,
+                Tok::Reduce,
+                Tok::At,
+                Tok::Semi,
+                Tok::Comma,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("0.25"), vec![Tok::Float(0.25), Tok::Eof]);
+        assert_eq!(toks("1e-3"), vec![Tok::Float(1e-3), Tok::Eof]);
+        assert_eq!(toks("2.5e2"), vec![Tok::Float(250.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        assert_eq!(toks("1..4"), vec![Tok::Int(1), Tok::DotDot, Tok::Int(4), Tok::Eof]);
+    }
+
+    #[test]
+    fn identifiers_and_comments() {
+        assert_eq!(
+            toks("X_1 := Y -- trailing\n# full line\nZ"),
+            vec![
+                Tok::Ident("X_1".into()),
+                Tok::Assign,
+                Tok::Ident("Y".into()),
+                Tok::Ident("Z".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(toks("a - b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Minus,
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+        // Double minus is a comment.
+        assert_eq!(toks("a --b"), vec![Tok::Ident("a".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a < b").is_err());
+        assert!(lex("a . b").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # commopt-lang — the mini-ZPL frontend
+//!
+//! A compact frontend for the ZPL dialect the benchmark programs are
+//! written in (TOMCATV, SWM, SIMPLE, SP — `crates/benchmarks/programs/`).
+//! It covers the language features the paper's study exercises: whole-array
+//! statements over regions, the `@` shift operator with named directions,
+//! full reductions, `repeat`/`for` loops, and compile-time configuration
+//! constants:
+//!
+//! ```text
+//! program jacobi;
+//! config n = 16;
+//! config iters = 10;
+//! region R        = [1..n, 1..n];
+//! region Interior = [2..n-1, 2..n-1];
+//! direction north = [-1, 0]; direction south = [1, 0];
+//! direction east  = [0, 1];  direction west  = [0, -1];
+//! var A, New : [R] double;
+//! scalar err = 0.0;
+//! begin
+//!   [R] A := Index1 * 10.0 + Index2;
+//!   repeat iters {
+//!     [Interior] New := 0.25 * (A@north + A@south + A@east + A@west);
+//!     [Interior] A := New;
+//!     err := max<< [Interior] abs(New);
+//!   }
+//! end
+//! ```
+//!
+//! Entry point: [`compile`] (or [`Frontend`] to override `config` values,
+//! e.g. problem size and iteration count). The result is a validated
+//! `commopt_ir::Program` ready for the optimizer.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::{LangError, Span};
+pub use lower::Frontend;
+
+use commopt_ir::Program;
+
+/// Compiles mini-ZPL source with default `config` values.
+pub fn compile(source: &str) -> Result<Program, LangError> {
+    Frontend::new(source).compile()
+}

@@ -1,0 +1,94 @@
+//! Round-trip: IR → `to_source` → frontend → IR. The regenerated program
+//! must behave identically under the optimizer (same plans, same counts)
+//! and, for the benchmark suite, execute identically.
+
+use commopt_core::{optimize, OptConfig};
+use commopt_ir::{display, Program};
+use commopt_lang::compile;
+
+fn assert_equivalent(original: &Program, tag: &str) {
+    let src = display::to_source(original);
+    let reparsed = compile(&src).unwrap_or_else(|e| panic!("{tag}: reparse failed: {e}\n{src}"));
+    assert_eq!(original.arrays.len(), reparsed.arrays.len(), "{tag}");
+    assert_eq!(original.scalars.len(), reparsed.scalars.len(), "{tag}");
+    assert_eq!(original.stmt_count(), reparsed.stmt_count(), "{tag}");
+    for (name, cfg) in OptConfig::presets() {
+        let a = optimize(original, &cfg);
+        let b = optimize(&reparsed, &cfg);
+        assert_eq!(a.static_count(), b.static_count(), "{tag} {name} static");
+        assert_eq!(a.dynamic_count(), b.dynamic_count(), "{tag} {name} dynamic");
+    }
+}
+
+#[test]
+fn benchmark_suite_round_trips() {
+    for b in commopt_benchmarks::suite() {
+        assert_equivalent(&b.program_with(16, 2), b.name);
+        assert_equivalent(&b.program(), b.name);
+    }
+    assert_equivalent(&compile(commopt_benchmarks::jacobi_source()).unwrap(), "jacobi");
+}
+
+#[test]
+fn round_trip_preserves_numerics_on_small_grids() {
+    use commopt_sim::SeqInterp;
+    for b in commopt_benchmarks::suite() {
+        let original = b.program_with(12, 2);
+        let reparsed = compile(&display::to_source(&original)).unwrap();
+        let x = SeqInterp::run(&original);
+        let y = SeqInterp::run(&reparsed);
+        for a in &original.arrays {
+            let xs = x.array(&a.name).unwrap();
+            let ys = y.array(&a.name).unwrap();
+            for (u, v) in xs.iter().zip(ys) {
+                assert!(
+                    (u - v).abs() <= 1e-12 * u.abs().max(1.0),
+                    "{}/{}: {u} vs {v}",
+                    b.name,
+                    a.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_programs_round_trip() {
+    use commopt_ir::offset::{compass, Offset};
+    use commopt_ir::{Expr, ProgramBuilder, Rect, ReduceOp, Region};
+
+    let mut bld = ProgramBuilder::new("synthetic");
+    let bounds = Rect::d3((1, 6), (1, 6), (1, 4));
+    let all = Region::from_rect(bounds);
+    let interior = Region::d3((2, 5), (2, 5), (2, 3));
+    let a = bld.array("A", bounds);
+    let b = bld.array("B", bounds);
+    let s = bld.scalar("s", 0.25);
+    bld.assign(all, a, Expr::Index(0) + Expr::Index(2) * Expr::Const(0.5));
+    bld.repeat(3, |bld| {
+        bld.assign(
+            interior,
+            b,
+            Expr::at(a, Offset::d3(0, 0, 1)) - Expr::at(a, compass::NW) + Expr::Scalar(s),
+        );
+        bld.reduce(s, ReduceOp::Sum, interior, Expr::local(b));
+        bld.for_down("i", 5, 2, |bld, i| {
+            bld.assign(
+                Region::new(
+                    3,
+                    [
+                        commopt_ir::DimRange::new(
+                            commopt_ir::AffineBound::var_plus(i, 0),
+                            commopt_ir::AffineBound::var_plus(i, 0),
+                        ),
+                        commopt_ir::DimRange::new(2, 5),
+                        commopt_ir::DimRange::new(2, 3),
+                    ],
+                ),
+                a,
+                Expr::at(a, Offset::d3(1, 0, 0)) * Expr::Const(0.5) + Expr::LoopVar(i),
+            );
+        });
+    });
+    assert_equivalent(&bld.finish(), "synthetic-3d");
+}

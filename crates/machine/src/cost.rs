@@ -1,0 +1,142 @@
+//! Communication cost parameters.
+//!
+//! Every quantity is in **microseconds** (or microseconds per byte). The
+//! split between *CPU* costs (exposed software overhead, the subject of the
+//! paper's Figure 6) and *network* costs (latency + bandwidth, overlappable
+//! with computation) is what makes pipelining profitable in the simulator:
+//! hoisting a send earlier lets the wire time run under subsequent
+//! computation, while the CPU costs are always paid.
+
+/// Cost parameters for one communication library on one machine.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CommCosts {
+    /// CPU time to initiate a send (`csend`, `isend`, `pvm_send`,
+    /// `shmem_put` initiation).
+    pub send_init_us: f64,
+    /// CPU time per byte at the sender (buffer copy / injection).
+    pub send_per_byte_us: f64,
+    /// CPU time to complete a receive once data has arrived.
+    pub recv_init_us: f64,
+    /// CPU time per byte at the receiver (buffer copy out).
+    pub recv_per_byte_us: f64,
+    /// CPU time to post a receive buffer (`irecv`) or probe (`hprobe`).
+    pub post_recv_us: f64,
+    /// CPU time of a wait call (`msgwait`, `hrecv`) beyond the blocking
+    /// itself.
+    pub wait_us: f64,
+    /// CPU time each side pays for a pairwise `synch` (SHMEM binding)
+    /// when the instance moves data.
+    pub sync_us: f64,
+    /// CPU cost of merely *executing* a `synch` call, paid on every
+    /// processor whether or not the instance moves data — the prototype
+    /// binding synchronizes before its empty-transfer guard (§3.2's
+    /// "unnecessarily heavy-weight" synchronization).
+    pub sync_call_us: f64,
+    /// Network latency per message.
+    pub latency_us: f64,
+    /// Network bandwidth in megabytes per second.
+    pub bandwidth_mb_s: f64,
+}
+
+impl CommCosts {
+    /// Time for `bytes` to traverse the network once injected.
+    pub fn wire_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / self.bandwidth_mb_s
+    }
+
+    /// Sender-side CPU time to inject a message of `bytes`.
+    pub fn send_cpu_us(&self, bytes: u64) -> f64 {
+        self.send_init_us + bytes as f64 * self.send_per_byte_us
+    }
+
+    /// Receiver-side CPU time to retire a message of `bytes`.
+    pub fn recv_cpu_us(&self, bytes: u64) -> f64 {
+        self.recv_init_us + bytes as f64 * self.recv_per_byte_us
+    }
+
+    /// The *exposed* software overhead of one transfer of `bytes` when the
+    /// transmission itself is fully overlapped — the quantity plotted in
+    /// the paper's Figure 6 (sender CPU + receiver CPU, plus any fixed
+    /// synchronization both sides pay).
+    pub fn exposed_overhead_us(&self, bytes: u64, sync_calls: u32, wait_calls: u32, posts: u32) -> f64 {
+        self.send_cpu_us(bytes)
+            + self.recv_cpu_us(bytes)
+            + f64::from(sync_calls) * (self.sync_us + self.sync_call_us)
+            + f64::from(wait_calls) * self.wait_us
+            + f64::from(posts) * self.post_recv_us
+    }
+
+    /// The message size at which combining two messages into one stops
+    /// paying: where the per-byte CPU cost of a message equals its fixed
+    /// overhead. Both study machines have this knee near 512 doubles
+    /// (4 KB); §3.2.
+    pub fn combining_knee_bytes(&self) -> u64 {
+        let fixed =
+            self.send_init_us + self.recv_init_us + 2.0 * (self.sync_us + self.sync_call_us);
+        let per_byte = self.send_per_byte_us + self.recv_per_byte_us;
+        if per_byte <= 0.0 {
+            return u64::MAX;
+        }
+        (fixed / per_byte) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommCosts {
+        CommCosts {
+            send_init_us: 40.0,
+            send_per_byte_us: 0.011,
+            recv_init_us: 50.0,
+            recv_per_byte_us: 0.011,
+            post_recv_us: 10.0,
+            wait_us: 12.0,
+            sync_us: 0.0,
+            sync_call_us: 0.0,
+            latency_us: 20.0,
+            bandwidth_mb_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn wire_time_scales_with_bytes() {
+        let c = sample();
+        assert!((c.wire_us(0) - 20.0).abs() < 1e-12);
+        // 100 MB/s == 100 bytes/us.
+        assert!((c.wire_us(1000) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_costs_split_send_recv() {
+        let c = sample();
+        assert!((c.send_cpu_us(1000) - 51.0).abs() < 1e-12);
+        assert!((c.recv_cpu_us(1000) - 61.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_is_fixed_over_per_byte() {
+        let c = sample();
+        // (40+50) / 0.022 ≈ 4090 bytes ≈ 512 doubles.
+        let knee = c.combining_knee_bytes();
+        assert!((3900..4300).contains(&knee), "knee = {knee}");
+    }
+
+    #[test]
+    fn exposed_overhead_composition() {
+        let c = sample();
+        let base = c.exposed_overhead_us(0, 0, 0, 0);
+        assert!((base - 90.0).abs() < 1e-12);
+        let with_extras = c.exposed_overhead_us(0, 2, 1, 1);
+        assert!((with_extras - (90.0 + 12.0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_per_byte_disables_knee() {
+        let mut c = sample();
+        c.send_per_byte_us = 0.0;
+        c.recv_per_byte_us = 0.0;
+        assert_eq!(c.combining_knee_bytes(), u64::MAX);
+    }
+}

@@ -1,0 +1,254 @@
+//! Block distribution of array index spaces over the processor grid.
+//!
+//! All arrays are trivially aligned — element `(i, j)` of every array lives
+//! on the same processor — and block distributed over the first
+//! [`DIST_DIMS`](crate::topology::DIST_DIMS) dimensions of the grid
+//! (paper §3.1). A rank-3 array's third dimension is processor-local.
+
+// Dimension loops deliberately index several parallel arrays by `d`.
+#![allow(clippy::needless_range_loop)]
+
+use crate::topology::{ProcGrid, ProcId, DIST_DIMS};
+use commopt_ir::{Offset, Rect, MAX_RANK};
+
+/// The block distribution of one index space over a grid.
+///
+/// Dimension `d < DIST_DIMS` of the bounds is split into `grid.dims[d]`
+/// near-equal blocks (leading blocks take the remainder, like the ZPL
+/// runtime); higher dimensions are local.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BlockDist {
+    pub grid: ProcGrid,
+    pub bounds: Rect,
+}
+
+impl BlockDist {
+    pub fn new(grid: ProcGrid, bounds: Rect) -> BlockDist {
+        BlockDist { grid, bounds }
+    }
+
+    /// The inclusive sub-range of `lo..=hi` owned by block `k` of `nblocks`.
+    fn split(lo: i64, hi: i64, k: usize, nblocks: usize) -> (i64, i64) {
+        let n = (hi - lo + 1).max(0) as usize;
+        let base = n / nblocks;
+        let rem = n % nblocks;
+        let start = k.min(rem) * (base + 1) + k.saturating_sub(rem) * base;
+        let len = if k < rem { base + 1 } else { base };
+        (lo + start as i64, lo + start as i64 + len as i64 - 1)
+    }
+
+    /// The block of the index space owned by processor `p` (possibly empty
+    /// when there are more processors than elements along a dimension).
+    pub fn owned(&self, p: ProcId) -> Rect {
+        let c = self.grid.coords(p);
+        let mut lo = self.bounds.lo;
+        let mut hi = self.bounds.hi;
+        for d in 0..DIST_DIMS.min(self.bounds.rank) {
+            let (l, h) = Self::split(self.bounds.lo[d], self.bounds.hi[d], c[d], self.grid.dims[d]);
+            lo[d] = l;
+            hi[d] = h;
+        }
+        Rect { rank: self.bounds.rank, lo, hi }
+    }
+
+    /// The processor owning global index `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` lies outside the distributed bounds.
+    pub fn owner_of(&self, idx: [i64; MAX_RANK]) -> ProcId {
+        assert!(self.bounds.contains(idx), "index {idx:?} outside {:?}", self.bounds);
+        let mut c = [0usize; DIST_DIMS];
+        for d in 0..DIST_DIMS.min(self.bounds.rank) {
+            // Find the block containing idx[d] along dimension d.
+            c[d] = (0..self.grid.dims[d])
+                .find(|&k| {
+                    let (l, h) =
+                        Self::split(self.bounds.lo[d], self.bounds.hi[d], k, self.grid.dims[d]);
+                    l <= idx[d] && idx[d] <= h
+                })
+                .expect("index must fall in some block");
+        }
+        self.grid.at(c)
+    }
+
+    /// The ghost slabs processor `p` must *receive* to read `A @ offset`
+    /// over its whole block: the parts of the shifted footprint that fall
+    /// outside `owned(p)` but inside the array bounds.
+    ///
+    /// For an axis offset this is a single strip; for a diagonal offset it
+    /// decomposes into up to two strips plus a corner (owned by up to three
+    /// neighbors, but realized as one IRONMAN transfer — one
+    /// *communication* in the paper's counting).
+    pub fn ghost_slabs(&self, p: ProcId, offset: Offset) -> Vec<Rect> {
+        let owned = self.owned(p);
+        if owned.is_empty() {
+            return Vec::new();
+        }
+        let mut delta = [0i64; MAX_RANK];
+        for d in 0..MAX_RANK {
+            delta[d] = offset.get(d) as i64;
+        }
+        let needed = owned.shifted(delta).intersect(&self.bounds);
+        subtract(needed, owned)
+    }
+
+    /// Total elements received by `p` for `A @ offset`.
+    pub fn ghost_elems(&self, p: ProcId, offset: Offset) -> u64 {
+        self.ghost_slabs(p, offset).iter().map(Rect::count).sum()
+    }
+
+    /// The grid displacement of the neighbor that dominates the exchange
+    /// for `offset` — the processor the transfer message nominally comes
+    /// from: `sign(offset)` per distributed dimension.
+    pub fn source_delta(offset: Offset) -> [i32; DIST_DIMS] {
+        [offset.get(0).signum(), offset.get(1).signum()]
+    }
+
+    /// `true` when `p` actually receives data for `A @ offset` (false on
+    /// mesh edges facing outward, or when the offset is local along the
+    /// distributed dimensions).
+    pub fn receives(&self, p: ProcId, offset: Offset) -> bool {
+        self.ghost_elems(p, offset) > 0
+    }
+}
+
+/// Decomposes `a \ b` into disjoint rectangles (at most `2*rank`).
+fn subtract(a: Rect, b: Rect) -> Vec<Rect> {
+    let mut out = Vec::new();
+    let mut rest = a;
+    if rest.is_empty() {
+        return out;
+    }
+    for d in 0..a.rank {
+        // Slice off the part of `rest` below b.lo[d].
+        if rest.lo[d] < b.lo[d] {
+            let mut r = rest;
+            r.hi[d] = (b.lo[d] - 1).min(rest.hi[d]);
+            if !r.is_empty() {
+                out.push(r);
+            }
+            rest.lo[d] = b.lo[d];
+        }
+        // Slice off the part above b.hi[d].
+        if rest.hi[d] > b.hi[d] {
+            let mut r = rest;
+            r.lo[d] = (b.hi[d] + 1).max(rest.lo[d]);
+            if !r.is_empty() {
+                out.push(r);
+            }
+            rest.hi[d] = b.hi[d];
+        }
+        if rest.is_empty() {
+            return out;
+        }
+    }
+    // What's left is a ∩ b — dropped by definition of subtraction.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_ir::offset::compass;
+
+    fn dist_8x8_on_2x2() -> BlockDist {
+        BlockDist::new(ProcGrid::new(2, 2), Rect::d2((1, 8), (1, 8)))
+    }
+
+    #[test]
+    fn blocks_partition_the_space() {
+        let d = dist_8x8_on_2x2();
+        let total: u64 = d.grid.procs().map(|p| d.owned(p).count()).sum();
+        assert_eq!(total, 64);
+        assert_eq!(d.owned(0), Rect::d2((1, 4), (1, 4)));
+        assert_eq!(d.owned(3), Rect::d2((5, 8), (5, 8)));
+    }
+
+    #[test]
+    fn uneven_split_puts_remainder_first() {
+        // 7 elements over 2 blocks: 4 + 3.
+        let d = BlockDist::new(ProcGrid::new(1, 2), Rect::d2((1, 4), (1, 7)));
+        assert_eq!(d.owned(0), Rect::d2((1, 4), (1, 4)));
+        assert_eq!(d.owned(1), Rect::d2((1, 4), (5, 7)));
+    }
+
+    #[test]
+    fn owner_inverts_owned() {
+        let d = BlockDist::new(ProcGrid::new(3, 2), Rect::d2((1, 10), (1, 7)));
+        for p in d.grid.procs() {
+            let o = d.owned(p);
+            o.for_each(|idx| assert_eq!(d.owner_of(idx), p));
+        }
+    }
+
+    #[test]
+    fn axis_ghost_is_one_strip() {
+        let d = dist_8x8_on_2x2();
+        // Proc 0 owns [1..4,1..4]; reading @east needs column 5 from proc 1.
+        let slabs = d.ghost_slabs(0, compass::EAST);
+        assert_eq!(slabs, vec![Rect::d2((1, 4), (5, 5))]);
+        assert_eq!(d.ghost_elems(0, compass::EAST), 4);
+        // Proc 1 owns [1..4,5..8]; @east needs column 9 — outside bounds.
+        assert_eq!(d.ghost_elems(1, compass::EAST), 0);
+        assert!(!d.receives(1, compass::EAST));
+        assert!(d.receives(0, compass::EAST));
+    }
+
+    #[test]
+    fn diagonal_ghost_decomposes() {
+        let d = dist_8x8_on_2x2();
+        // Proc 0 reading @se needs row 5 (cols 2..5) and col 5 (rows 2..5):
+        // footprint [2..5,2..5] minus owned [1..4,1..4].
+        let slabs = d.ghost_slabs(0, compass::SE);
+        let total: u64 = slabs.iter().map(Rect::count).sum();
+        assert_eq!(total, 4 + 3); // strip of 4 + strip of 3 (corner included once)
+        // All slabs disjoint from owned and inside bounds.
+        for s in &slabs {
+            assert!(s.intersect(&d.owned(0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn rank3_third_dim_is_local() {
+        let d = BlockDist::new(ProcGrid::new(2, 2), Rect::d3((1, 8), (1, 8), (1, 16)));
+        let o = d.owned(0);
+        assert_eq!(o, Rect::d3((1, 4), (1, 4), (1, 16)));
+        // A shift along dim 2 never needs communication.
+        assert_eq!(d.ghost_elems(0, Offset::d3(0, 0, 1)), 0);
+        // A shift along dim 0 moves a full plane.
+        assert_eq!(d.ghost_elems(3, Offset::d3(-1, 0, 0)), 4 * 16);
+    }
+
+    #[test]
+    fn source_delta_is_sign() {
+        assert_eq!(BlockDist::source_delta(compass::EAST), [0, 1]);
+        assert_eq!(BlockDist::source_delta(compass::NW), [-1, -1]);
+        assert_eq!(BlockDist::source_delta(Offset::d2(0, -3)), [0, -1]);
+    }
+
+    #[test]
+    fn subtract_covers_and_is_disjoint() {
+        let a = Rect::d2((1, 6), (1, 6));
+        let b = Rect::d2((3, 4), (3, 4));
+        let parts = subtract(a, b);
+        let total: u64 = parts.iter().map(Rect::count).sum();
+        assert_eq!(total, 36 - 4);
+        for (i, x) in parts.iter().enumerate() {
+            assert!(x.intersect(&b).is_empty());
+            for y in &parts[i + 1..] {
+                assert!(x.intersect(y).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_a() {
+        let a = Rect::d2((1, 2), (1, 2));
+        let b = Rect::d2((5, 6), (5, 6));
+        let parts = subtract(a, b);
+        let total: u64 = parts.iter().map(Rect::count).sum();
+        assert_eq!(total, 4);
+    }
+
+    use commopt_ir::Offset;
+}

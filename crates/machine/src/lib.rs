@@ -1,0 +1,34 @@
+//! # commopt-machine — simulated machine models
+//!
+//! The paper's measurements ran on a 1993 Intel Paragon and a Cray T3D —
+//! hardware that no longer exists. This crate substitutes deterministic
+//! *models* of those machines (see DESIGN.md, "Hardware substitution"):
+//!
+//! * [`topology::ProcGrid`] — the virtual processor mesh ZPL distributes
+//!   arrays over (2D for the benchmark programs; 3D arrays keep their third
+//!   dimension processor-local, as on the real compiler);
+//! * [`dist`] — block distribution of array index spaces over the grid,
+//!   including ghost-region geometry and the slab exchanged for a given
+//!   shift offset;
+//! * [`cost::CommCosts`] — per-library communication cost parameters
+//!   (fixed software overheads, per-byte CPU costs, network latency and
+//!   bandwidth, synchronization costs);
+//! * [`spec::MachineSpec`] — a machine: computation speed plus the cost
+//!   tables of its communication libraries, with calibrated
+//!   [`spec::MachineSpec::paragon`] and [`spec::MachineSpec::t3d`]
+//!   instances reproducing the *orderings* of the paper's Figure 6
+//!   (knee at 512 doubles; NX async no better than `csend`/`crecv`;
+//!   callbacks worse; SHMEM ~10% below PVM).
+//!
+//! All times are in **microseconds** (`f64`), the natural scale of 1990s
+//! message-passing overheads; the simulator reports seconds.
+
+pub mod cost;
+pub mod dist;
+pub mod spec;
+pub mod topology;
+
+pub use cost::CommCosts;
+pub use dist::BlockDist;
+pub use spec::MachineSpec;
+pub use topology::{ProcGrid, ProcId};

@@ -1,0 +1,145 @@
+//! The virtual processor mesh.
+//!
+//! ZPL distributes arrays block-wise over a processor mesh; a shift
+//! reference therefore implies nearest-neighbor communication on the mesh
+//! (paper §3.1). Arrays of rank ≥ 2 are distributed over the first two
+//! dimensions; a rank-3 array's third dimension stays processor-local
+//! (which is why SP's z-direction sweeps need no communication).
+
+/// A processor id: `0 ..= nprocs-1`, row-major over the grid.
+pub type ProcId = usize;
+
+/// Number of array dimensions that are distributed (the "2D virtual
+/// processor mesh" of §3.1).
+pub const DIST_DIMS: usize = 2;
+
+/// A rectangular processor grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProcGrid {
+    /// Extent of the grid along each distributed dimension.
+    pub dims: [usize; DIST_DIMS],
+}
+
+impl ProcGrid {
+    /// A grid with the given extents.
+    pub fn new(rows: usize, cols: usize) -> ProcGrid {
+        assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
+        ProcGrid { dims: [rows, cols] }
+    }
+
+    /// The most-square grid for `n` processors (e.g. 64 → 8×8, 32 → 4×8),
+    /// matching how the ZPL runtime folds a partition into a mesh.
+    pub fn square(n: usize) -> ProcGrid {
+        assert!(n >= 1, "need at least one processor");
+        let mut r = (n as f64).sqrt() as usize;
+        while !n.is_multiple_of(r) {
+            r -= 1;
+        }
+        ProcGrid::new(r, n / r)
+    }
+
+    /// Total processor count.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grid coordinates of processor `p` (row-major).
+    pub fn coords(&self, p: ProcId) -> [usize; DIST_DIMS] {
+        debug_assert!(p < self.len());
+        [p / self.dims[1], p % self.dims[1]]
+    }
+
+    /// Processor id at the given coordinates.
+    pub fn at(&self, c: [usize; DIST_DIMS]) -> ProcId {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1]);
+        c[0] * self.dims[1] + c[1]
+    }
+
+    /// The neighbor of `p` displaced by `delta` grid steps (per distributed
+    /// dimension), or `None` at the mesh edge. `delta` is usually the sign
+    /// of a shift offset: the processor a reader's ghost data comes *from*.
+    pub fn neighbor(&self, p: ProcId, delta: [i32; DIST_DIMS]) -> Option<ProcId> {
+        let c = self.coords(p);
+        let mut out = [0usize; DIST_DIMS];
+        for d in 0..DIST_DIMS {
+            let nd = c[d] as i64 + delta[d] as i64;
+            if nd < 0 || nd >= self.dims[d] as i64 {
+                return None;
+            }
+            out[d] = nd as usize;
+        }
+        Some(self.at(out))
+    }
+
+    /// An interior processor — one with neighbors in all eight compass
+    /// directions when the grid allows it. Used as the paper's "single
+    /// processor" for dynamic communication counting.
+    pub fn interior_proc(&self) -> ProcId {
+        let r = if self.dims[0] > 2 { 1 } else { 0 };
+        let c = if self.dims[1] > 2 { 1 } else { 0 };
+        self.at([r, c])
+    }
+
+    /// Iterates all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> {
+        0..self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_factorization() {
+        assert_eq!(ProcGrid::square(64).dims, [8, 8]);
+        assert_eq!(ProcGrid::square(32).dims, [4, 8]);
+        assert_eq!(ProcGrid::square(2).dims, [1, 2]);
+        assert_eq!(ProcGrid::square(1).dims, [1, 1]);
+        assert_eq!(ProcGrid::square(7).dims, [1, 7]);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let g = ProcGrid::new(3, 4);
+        for p in g.procs() {
+            assert_eq!(g.at(g.coords(p)), p);
+        }
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.coords(5), [1, 1]);
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let g = ProcGrid::new(3, 3);
+        let center = g.at([1, 1]);
+        assert_eq!(g.neighbor(center, [0, 1]), Some(g.at([1, 2]))); // east
+        assert_eq!(g.neighbor(center, [-1, -1]), Some(g.at([0, 0]))); // nw
+        let corner = g.at([0, 0]);
+        assert_eq!(g.neighbor(corner, [-1, 0]), None);
+        assert_eq!(g.neighbor(corner, [0, -1]), None);
+        assert_eq!(g.neighbor(corner, [1, 1]), Some(g.at([1, 1])));
+    }
+
+    #[test]
+    fn interior_proc_has_all_neighbors() {
+        let g = ProcGrid::new(8, 8);
+        let p = g.interior_proc();
+        for dr in -1..=1i32 {
+            for dc in -1..=1i32 {
+                assert!(g.neighbor(p, [dr, dc]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn interior_proc_degenerate_grids() {
+        assert_eq!(ProcGrid::new(1, 1).interior_proc(), 0);
+        let g = ProcGrid::new(1, 4);
+        assert_eq!(g.coords(g.interior_proc()), [0, 1]);
+    }
+}

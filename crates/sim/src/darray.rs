@@ -1,0 +1,197 @@
+//! Distributed array storage: per-processor blocks with ghost rings.
+
+// Dimension loops deliberately index several parallel arrays by `d`.
+#![allow(clippy::needless_range_loop)]
+
+use commopt_ir::{Rect, MAX_RANK};
+use commopt_machine::{BlockDist, ProcGrid};
+
+/// A dense, row-major block of `f64` covering a rectangle of index space.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// The storage rectangle (owned block grown by the ghost width).
+    pub rect: Rect,
+    extents: [usize; MAX_RANK],
+    data: Vec<f64>,
+}
+
+impl Block {
+    /// Allocates storage over `rect`, filled with `fill`.
+    pub fn new(rect: Rect, fill: f64) -> Block {
+        let mut extents = [1usize; MAX_RANK];
+        for d in 0..MAX_RANK {
+            extents[d] = rect.extent(d).max(0) as usize;
+        }
+        let len = extents.iter().product();
+        Block { rect, extents, data: vec![fill; len] }
+    }
+
+    #[inline]
+    fn linear(&self, idx: [i64; MAX_RANK]) -> usize {
+        debug_assert!(self.rect.contains(idx), "index {idx:?} outside block {:?}", self.rect);
+        let o0 = (idx[0] - self.rect.lo[0]) as usize;
+        let o1 = (idx[1] - self.rect.lo[1]) as usize;
+        let o2 = (idx[2] - self.rect.lo[2]) as usize;
+        (o0 * self.extents[1] + o1) * self.extents[2] + o2
+    }
+
+    /// Reads one element.
+    #[inline]
+    pub fn get(&self, idx: [i64; MAX_RANK]) -> f64 {
+        self.data[self.linear(idx)]
+    }
+
+    /// Writes one element.
+    #[inline]
+    pub fn set(&mut self, idx: [i64; MAX_RANK], v: f64) {
+        let i = self.linear(idx);
+        self.data[i] = v;
+    }
+
+    /// A contiguous slice of `len` elements along the *last* (fastest-
+    /// varying) dimension, starting at `base`.
+    ///
+    /// For rank-2 arrays the last real dimension (dim 1) is also the last
+    /// storage dimension because trailing dims have extent 1, so runs along
+    /// it are contiguous; likewise dim 2 for rank-3.
+    #[inline]
+    pub fn run(&self, base: [i64; MAX_RANK], len: usize) -> &[f64] {
+        let start = self.linear(base);
+        &self.data[start..start + len]
+    }
+
+    /// Mutable run (used to commit computed values).
+    #[inline]
+    pub fn run_mut(&mut self, base: [i64; MAX_RANK], len: usize) -> &mut [f64] {
+        let start = self.linear(base);
+        &mut self.data[start..start + len]
+    }
+
+    /// `true` when `idx` falls inside the storage rectangle.
+    pub fn contains(&self, idx: [i64; MAX_RANK]) -> bool {
+        self.rect.contains(idx)
+    }
+}
+
+/// One array distributed over the processor grid: a [`Block`] per
+/// processor covering its owned rectangle grown by the ghost width.
+///
+/// Owned cells are initialized to `0.0`; ghost cells to **NaN**, so that
+/// reading ghost data that was never delivered by a transfer poisons the
+/// results — the runtime manifestation of a missing communication.
+#[derive(Clone, Debug)]
+pub struct DistArray {
+    pub dist: BlockDist,
+    pub ghost: i64,
+    pub blocks: Vec<Block>,
+}
+
+impl DistArray {
+    /// Allocates the distributed array.
+    pub fn new(grid: ProcGrid, bounds: Rect, ghost: i64) -> DistArray {
+        let dist = BlockDist::new(grid, bounds);
+        let blocks = (0..grid.len())
+            .map(|p| {
+                let owned = dist.owned(p);
+                let mut b = Block::new(owned.grown(ghost), f64::NAN);
+                owned.for_each(|idx| b.set(idx, 0.0));
+                b
+            })
+            .collect();
+        DistArray { dist, ghost, blocks }
+    }
+
+    /// The block of processor `p`.
+    pub fn block(&self, p: usize) -> &Block {
+        &self.blocks[p]
+    }
+
+    pub fn block_mut(&mut self, p: usize) -> &mut Block {
+        &mut self.blocks[p]
+    }
+
+    /// Reads the globally-correct value at `idx` (from its owner's block).
+    pub fn global_get(&self, idx: [i64; MAX_RANK]) -> f64 {
+        self.blocks[self.dist.owner_of(idx)].get(idx)
+    }
+
+    /// Gathers the whole array into a row-major vector over its bounds —
+    /// used by tests to compare against the sequential reference.
+    pub fn gather(&self) -> (Rect, Vec<f64>) {
+        let bounds = self.dist.bounds;
+        let mut out = Vec::with_capacity(bounds.count() as usize);
+        bounds.for_each(|idx| out.push(self.global_get(idx)));
+        (bounds, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let mut b = Block::new(Rect::d2((0, 3), (0, 3)), 0.0);
+        b.set([2, 1, 0], 42.0);
+        assert_eq!(b.get([2, 1, 0]), 42.0);
+        assert_eq!(b.get([0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn runs_are_contiguous_along_last_dim() {
+        let mut b = Block::new(Rect::d2((1, 2), (1, 4)), 0.0);
+        for j in 1..=4 {
+            b.set([1, j, 0], j as f64);
+        }
+        assert_eq!(b.run([1, 1, 0], 4), &[1.0, 2.0, 3.0, 4.0]);
+        b.run_mut([1, 2, 0], 2).copy_from_slice(&[9.0, 8.0]);
+        assert_eq!(b.get([1, 2, 0]), 9.0);
+        assert_eq!(b.get([1, 3, 0]), 8.0);
+    }
+
+    #[test]
+    fn rank3_runs() {
+        let mut b = Block::new(Rect::d3((1, 2), (1, 2), (1, 3)), 0.0);
+        for k in 1..=3 {
+            b.set([2, 1, k], 10.0 + k as f64);
+        }
+        assert_eq!(b.run([2, 1, 1], 3), &[11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn dist_array_ghosts_are_nan() {
+        let d = DistArray::new(ProcGrid::new(2, 2), Rect::d2((1, 8), (1, 8)), 1);
+        let b0 = d.block(0); // owns [1..4,1..4], storage [0..5,0..5]
+        assert!(b0.get([1, 5, 0]).is_nan()); // east ghost
+        assert!(b0.get([5, 5, 0]).is_nan()); // se corner ghost
+        assert_eq!(b0.get([4, 4, 0]), 0.0); // owned
+    }
+
+    #[test]
+    fn global_get_routes_to_owner() {
+        let mut d = DistArray::new(ProcGrid::new(2, 2), Rect::d2((1, 8), (1, 8)), 1);
+        let p = d.dist.owner_of([6, 7, 0]);
+        d.block_mut(p).set([6, 7, 0], 3.5);
+        assert_eq!(d.global_get([6, 7, 0]), 3.5);
+    }
+
+    #[test]
+    fn gather_is_row_major_and_owner_correct() {
+        let mut d = DistArray::new(ProcGrid::new(1, 2), Rect::d2((1, 2), (1, 2)), 0);
+        // Set each cell to a distinct value via its owner.
+        for (i, j, v) in [(1, 1, 1.0), (1, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)] {
+            let p = d.dist.owner_of([i, j, 0]);
+            d.block_mut(p).set([i, j, 0], v);
+        }
+        let (_, data) = d.gather();
+        assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside block")]
+    fn out_of_block_read_panics_in_debug() {
+        let b = Block::new(Rect::d2((1, 2), (1, 2)), 0.0);
+        b.get([5, 5, 0]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Vectorized expression evaluation over contiguous runs.
+//!
+//! Array statements are evaluated one *run* at a time: all indices of the
+//! statement's local rectangle that share every coordinate except the last
+//! (fastest-varying) dimension. Each expression node produces a buffer of
+//! run length; shifted references read a contiguous slice of the (local or
+//! ghost) block storage. A small buffer pool keeps the evaluator
+//! allocation-free in steady state.
+
+// Dimension loops deliberately index several parallel arrays by `d`.
+#![allow(clippy::needless_range_loop)]
+
+use crate::darray::Block;
+use commopt_ir::{Expr, LoopEnv, MAX_RANK};
+
+/// Reusable scratch buffers for one evaluation thread.
+#[derive(Default)]
+pub struct BufPool {
+    free: Vec<Vec<f64>>,
+}
+
+impl BufPool {
+    pub fn get(&mut self, len: usize) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    pub fn put(&mut self, v: Vec<f64>) {
+        self.free.push(v);
+    }
+}
+
+/// Where shifted references read their data from — one processor's view of
+/// every array (distributed execution) or the global arrays (sequential).
+pub trait BlockSource {
+    fn block(&self, array_idx: usize) -> &Block;
+}
+
+impl BlockSource for Vec<Block> {
+    fn block(&self, array_idx: usize) -> &Block {
+        &self[array_idx]
+    }
+}
+
+impl BlockSource for &[Block] {
+    fn block(&self, array_idx: usize) -> &Block {
+        &self[array_idx]
+    }
+}
+
+/// Everything an expression needs to evaluate over one processor's data.
+pub struct EvalCtx<'a> {
+    /// Block storage per array (indexed by `ArrayId::index()`).
+    pub src: &'a dyn BlockSource,
+    /// Replicated scalar values.
+    pub scalars: &'a [f64],
+    /// Current loop bindings.
+    pub env: &'a LoopEnv,
+}
+
+/// Evaluates `expr` for the `len` indices `base, base+e_last, ...` (varying
+/// the last real dimension `d_last`), writing results into `out`.
+pub fn eval_run(
+    ctx: &EvalCtx<'_>,
+    expr: &Expr,
+    base: [i64; MAX_RANK],
+    d_last: usize,
+    out: &mut [f64],
+    pool: &mut BufPool,
+) {
+    let len = out.len();
+    match expr {
+        Expr::Const(c) => out.fill(*c),
+        Expr::Scalar(s) => out.fill(ctx.scalars[s.index()]),
+        Expr::LoopVar(v) => out.fill(ctx.env.get(*v) as f64),
+        Expr::Index(d) => {
+            let d = *d as usize;
+            if d == d_last {
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = (base[d] + k as i64) as f64;
+                }
+            } else {
+                out.fill(base[d] as f64);
+            }
+        }
+        Expr::Ref { array, offset } => {
+            let mut b = base;
+            for d in 0..MAX_RANK {
+                b[d] += offset.get(d) as i64;
+            }
+            let src = ctx.src.block(array.index()).run(b, len);
+            out.copy_from_slice(src);
+        }
+        Expr::Unary { op, a } => {
+            eval_run(ctx, a, base, d_last, out, pool);
+            for o in out.iter_mut() {
+                *o = op.apply(*o);
+            }
+        }
+        Expr::Binary { op, a, b } => {
+            eval_run(ctx, a, base, d_last, out, pool);
+            let mut rhs = pool.get(len);
+            eval_run(ctx, b, base, d_last, &mut rhs, pool);
+            for (o, r) in out.iter_mut().zip(rhs.iter()) {
+                *o = op.apply(*o, *r);
+            }
+            pool.put(rhs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_ir::offset::compass;
+    use commopt_ir::{ArrayId, BinOp, Rect, UnaryOp};
+
+    fn two_blocks() -> Vec<Block> {
+        // Array 0: values = 10*i + j over [1..4,1..4] grown by 1.
+        let mut a = Block::new(Rect::d2((1, 4), (1, 4)).grown(1), 0.0);
+        Rect::d2((0, 5), (0, 5)).for_each(|idx| a.set(idx, (10 * idx[0] + idx[1]) as f64));
+        // Array 1: constant 2.
+        let b = Block::new(Rect::d2((1, 4), (1, 4)).grown(1), 2.0);
+        vec![a, b]
+    }
+
+    fn ctx<'a>(blocks: &'a Vec<Block>, scalars: &'a [f64], env: &'a LoopEnv) -> EvalCtx<'a> {
+        EvalCtx { src: blocks, scalars, env }
+    }
+
+    #[test]
+    fn const_scalar_index() {
+        let blocks = two_blocks();
+        let scalars = [7.5];
+        let env = LoopEnv::new();
+        let c = ctx(&blocks, &scalars, &env);
+        let mut pool = BufPool::default();
+        let mut out = [0.0; 3];
+
+        eval_run(&c, &Expr::Const(3.0), [2, 1, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [3.0; 3]);
+
+        eval_run(&c, &Expr::Scalar(commopt_ir::ScalarId(0)), [2, 1, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [7.5; 3]);
+
+        eval_run(&c, &Expr::Index(1), [2, 2, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [2.0, 3.0, 4.0]);
+
+        eval_run(&c, &Expr::Index(0), [3, 1, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [3.0; 3]);
+    }
+
+    #[test]
+    fn shifted_refs_read_neighbors() {
+        let blocks = two_blocks();
+        let scalars = [];
+        let env = LoopEnv::new();
+        let c = ctx(&blocks, &scalars, &env);
+        let mut pool = BufPool::default();
+        let mut out = [0.0; 2];
+
+        // A@east at (2, 2..3) reads (2, 3..4) = 23, 24.
+        eval_run(&c, &Expr::at(ArrayId(0), compass::EAST), [2, 2, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [23.0, 24.0]);
+        // A@nw at (2, 2..3) reads (1, 1..2) = 11, 12.
+        eval_run(&c, &Expr::at(ArrayId(0), compass::NW), [2, 2, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [11.0, 12.0]);
+    }
+
+    #[test]
+    fn compound_expressions() {
+        let blocks = two_blocks();
+        let scalars = [];
+        let env = LoopEnv::new();
+        let c = ctx(&blocks, &scalars, &env);
+        let mut pool = BufPool::default();
+        let mut out = [0.0; 2];
+
+        // (A@east - A@west) * B = ((i,j+1)-(i,j-1)) * 2 = 4 everywhere.
+        let e = (Expr::at(ArrayId(0), compass::EAST) - Expr::at(ArrayId(0), compass::WEST))
+            * Expr::local(ArrayId(1));
+        eval_run(&c, &e, [2, 2, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [4.0, 4.0]);
+
+        let neg = Expr::un(UnaryOp::Neg, Expr::local(ArrayId(1)));
+        eval_run(&c, &neg, [1, 1, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [-2.0, -2.0]);
+
+        let mx = Expr::bin(BinOp::Max, Expr::local(ArrayId(1)), Expr::Const(3.0));
+        eval_run(&c, &mx, [1, 1, 0], 1, &mut out, &mut pool);
+        assert_eq!(out, [3.0, 3.0]);
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let mut pool = BufPool::default();
+        let b1 = pool.get(8);
+        let ptr = b1.as_ptr();
+        pool.put(b1);
+        let b2 = pool.get(4);
+        assert_eq!(b2.as_ptr(), ptr);
+        assert_eq!(b2.len(), 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! # commopt-sim — the SPMD discrete-event executor
+//!
+//! Runs an optimized program (source program + IRONMAN calls, produced by
+//! `commopt-core`) on a simulated machine (`commopt-machine`) under a
+//! chosen communication library binding (`commopt-ironman`), producing:
+//!
+//! * a **simulated execution time** — per-processor clocks advanced by a
+//!   computation cost model and by the timing semantics of each IRONMAN
+//!   action (blocking sends, receives that wait for arrival, one-way puts
+//!   gated on the partner's readiness, heavyweight pairwise syncs, ...);
+//! * the **dynamic communication count** — transfers executed per
+//!   processor, the paper's Figure 8/11 metric (cross-checked against the
+//!   structural count of `commopt-core::counts`);
+//! * optionally (**full mode**) the actual **numerical results**, computed
+//!   on genuinely distributed arrays: each processor owns a block plus a
+//!   ghost ring that is *only* updated by executed transfers, with data
+//!   snapshotted at SR time. A missing or misplaced communication therefore
+//!   produces NaNs or stale values — the dynamic counterpart of the static
+//!   safety checker in `commopt-core::verify` — which the test suite
+//!   compares against the independent sequential interpreter in [`seq`].
+//!
+//! Because the language has no data-dependent control flow, all processors
+//! execute the same statement sequence and the simulator advances them in
+//! lockstep, one statement at a time, with per-processor clocks. Cross-
+//! processor waits (message arrival, pairwise synchronization, reductions)
+//! are resolved against the partners' clocks at the matching statement —
+//! a deterministic, reproducible discrete-event model.
+
+pub mod darray;
+pub mod engine;
+pub mod eval;
+pub mod metrics;
+pub mod seq;
+
+pub use darray::{Block, DistArray};
+pub use engine::{SimConfig, Simulator};
+pub use metrics::SimResult;
+pub use seq::SeqInterp;
+
+use commopt_ir::Program;
+use commopt_ironman::Library;
+use commopt_machine::MachineSpec;
+
+/// Convenience: simulate `program` on `machine`/`library` with `nprocs`
+/// processors, timing only (no numerics).
+pub fn simulate(program: &Program, machine: &MachineSpec, library: Library, nprocs: usize) -> SimResult {
+    Simulator::new(program, SimConfig::timing(machine.clone(), library, nprocs)).run()
+}
+
+/// Convenience: full simulation including distributed numerics.
+pub fn simulate_full(
+    program: &Program,
+    machine: &MachineSpec,
+    library: Library,
+    nprocs: usize,
+) -> SimResult {
+    Simulator::new(program, SimConfig::full(machine.clone(), library, nprocs)).run()
+}

@@ -1,0 +1,93 @@
+//! Simulation outputs.
+
+use std::collections::BTreeMap;
+
+/// The result of one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Simulated wall-clock time: the maximum processor clock, in seconds.
+    pub time_s: f64,
+    /// Final clock of every processor, seconds.
+    pub per_proc_time_s: Vec<f64>,
+    /// The paper's dynamic communication count: transfers executed per
+    /// processor (identical on every processor in SPMD code).
+    pub dynamic_comm: u64,
+    /// Transfers that actually moved data *to the counting (interior)
+    /// processor* — a stricter metric than `dynamic_comm` (row-sweep
+    /// transfers usually move nothing).
+    pub data_transfers: u64,
+    /// Bytes received by the counting processor over the run.
+    pub bytes_received: u64,
+    /// Largest single message received by the counting processor, bytes.
+    pub max_message_bytes: u64,
+    /// Time the counting processor spent in communication calls (including
+    /// waits), seconds.
+    pub comm_time_s: f64,
+    /// Time the counting processor spent computing, seconds.
+    pub compute_time_s: f64,
+    /// Number of global reductions performed.
+    pub reductions: u64,
+    /// Final scalar values by name.
+    pub scalars: BTreeMap<String, f64>,
+    /// Gathered final arrays by name (full mode only).
+    pub arrays: BTreeMap<String, Vec<f64>>,
+}
+
+impl SimResult {
+    /// Communication share of the counting processor's busy+wait time.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            self.comm_time_s / self.time_s
+        }
+    }
+
+    /// Largest relative clock skew between processors at the end of the
+    /// run (a load-imbalance indicator).
+    pub fn skew(&self) -> f64 {
+        let max = self.per_proc_time_s.iter().copied().fold(0.0_f64, f64::max);
+        let min = self.per_proc_time_s.iter().copied().fold(f64::INFINITY, f64::min);
+        if max <= 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+
+    /// A scalar's final value.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// A gathered array's final values (full mode only).
+    pub fn array(&self, name: &str) -> Option<&[f64]> {
+        self.arrays.get(name).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_skew() {
+        let r = SimResult {
+            time_s: 2.0,
+            comm_time_s: 0.5,
+            per_proc_time_s: vec![2.0, 1.0],
+            ..SimResult::default()
+        };
+        assert!((r.comm_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.skew() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_safe() {
+        let r = SimResult::default();
+        assert_eq!(r.comm_fraction(), 0.0);
+        assert_eq!(r.skew(), 0.0);
+        assert_eq!(r.scalar("x"), None);
+        assert!(r.array("a").is_none());
+    }
+}
