@@ -24,7 +24,11 @@ fn main() {
         for mask in 0..8u8 {
             let cfg = OptConfig {
                 redundant_removal: mask & 1 != 0,
-                combine: if mask & 2 != 0 { CombineMode::MaxCombining } else { CombineMode::Off },
+                combine: if mask & 2 != 0 {
+                    CombineMode::MaxCombining
+                } else {
+                    CombineMode::Off
+                },
                 pipeline: mask & 4 != 0,
                 max_combined_items: None,
             };

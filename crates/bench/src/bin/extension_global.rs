@@ -31,7 +31,11 @@ fn main() {
         let program = b.program();
         let opt = optimize(&program, &OptConfig::pl());
         let run = |p: &commopt_ir::Program| {
-            Simulator::new(p, SimConfig::timing(t3d.clone(), Library::Pvm, b.paper_procs)).run()
+            Simulator::new(
+                p,
+                SimConfig::timing(t3d.clone(), Library::Pvm, b.paper_procs),
+            )
+            .run()
         };
         let before = run(&opt.program);
 

@@ -12,7 +12,12 @@ fn main() {
     for b in suite() {
         let base = run_experiment(&b, Experiment::Baseline).time_s;
         let paper_base = b.paper.baseline().time_s.unwrap();
-        for e in [Experiment::Baseline, Experiment::Rr, Experiment::Cc, Experiment::Pl] {
+        for e in [
+            Experiment::Baseline,
+            Experiment::Rr,
+            Experiment::Cc,
+            Experiment::Pl,
+        ] {
             let m = run_experiment(&b, e);
             let scaled = m.time_s / base;
             let paper = b.paper.row(e).time_s.map(|x| x / paper_base);

@@ -23,7 +23,9 @@ fn main() {
                 name.to_string(),
                 format!("{:.3}", m.time_s),
                 format!("{scaled:.3}"),
-                paper.map(|p| format!("{p:.3}")).unwrap_or("- (lib bug)".into()),
+                paper
+                    .map(|p| format!("{p:.3}"))
+                    .unwrap_or("- (lib bug)".into()),
                 bar(scaled, 40),
             ]);
         }

@@ -5,7 +5,12 @@ use commopt_machine::MachineSpec;
 
 fn main() {
     println!("Figure 3: machine parameters and communication libraries\n");
-    let mut t = Table::new(&["machine", "clock", "communication library", "timer granularity"]);
+    let mut t = Table::new(&[
+        "machine",
+        "clock",
+        "communication library",
+        "timer granularity",
+    ]);
     for m in [MachineSpec::paragon(), MachineSpec::t3d()] {
         let libs: Vec<String> = m
             .libraries()
@@ -13,7 +18,11 @@ fn main() {
                 format!(
                     "{} ({})",
                     l.name(),
-                    if l.binding().is_one_way() { "shared memory" } else { "message passing" }
+                    if l.binding().is_one_way() {
+                        "shared memory"
+                    } else {
+                        "message passing"
+                    }
                 )
             })
             .collect();

@@ -33,7 +33,10 @@ fn main() {
         for size in figure6_sizes() {
             let mut row = vec![size.to_string()];
             for &lib in &libs {
-                row.push(format!("{:.1}", exposed_overhead_us(&machine, lib, size, ITERS)));
+                row.push(format!(
+                    "{:.1}",
+                    exposed_overhead_us(&machine, lib, size, ITERS)
+                ));
             }
             t.row(&row);
         }

@@ -1,0 +1,113 @@
+//! A dependency-free timing harness replacing the former criterion benches
+//! (the build must work offline, so external dev-dependencies are out).
+//!
+//! Measures the hot paths of the toolchain — frontend compilation, each
+//! optimizer preset, plan verification, structural counting, and the
+//! simulator — over the paper's benchmark suite, reporting the median and
+//! minimum of repeated runs.
+//!
+//! Usage: `cargo run --release -p commopt-bench --bin microbench [-- --quick]`
+
+use commopt_bench::Table;
+use commopt_benchmarks::suite;
+use commopt_core::{optimize, OptConfig};
+use commopt_ironman::Library;
+use commopt_lang::Frontend;
+use commopt_machine::MachineSpec;
+use commopt_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `runs` executions and returns (median, min) in µs.
+fn time_us(runs: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.1} us")
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 9 };
+    let mut t = Table::new(&["group", "case", "median", "min"]);
+
+    for b in suite() {
+        let (med, min) = time_us(runs, || {
+            black_box(Frontend::new(black_box(b.source)).compile().unwrap());
+        });
+        t.row(&["frontend".into(), b.name.into(), fmt_us(med), fmt_us(min)]);
+    }
+
+    for b in suite() {
+        let program = b.program();
+        for (name, cfg) in OptConfig::presets() {
+            let (med, min) = time_us(runs, || {
+                black_box(optimize(black_box(&program), &cfg));
+            });
+            t.row(&[
+                "optimize".into(),
+                format!("{}/{}", b.name, name.replace(' ', "_")),
+                fmt_us(med),
+                fmt_us(min),
+            ]);
+        }
+    }
+
+    for b in suite() {
+        let opt = optimize(&b.program(), &OptConfig::pl());
+        let (med, min) = time_us(runs, || {
+            commopt_core::verify_plan(black_box(&opt.program)).unwrap();
+        });
+        t.row(&[
+            "verify_plan".into(),
+            b.name.into(),
+            fmt_us(med),
+            fmt_us(min),
+        ]);
+        let (med, min) = time_us(runs, || {
+            black_box(commopt_core::dynamic_count(black_box(&opt.program)));
+        });
+        t.row(&[
+            "dynamic_count".into(),
+            b.name.into(),
+            fmt_us(med),
+            fmt_us(min),
+        ]);
+    }
+
+    for b in suite() {
+        let opt = optimize(&b.program_with(32, 4), &OptConfig::pl());
+        let (med, min) = time_us(runs, || {
+            let r = Simulator::new(
+                &opt.program,
+                SimConfig::timing(MachineSpec::t3d(), Library::Pvm, 16),
+            )
+            .run();
+            black_box(r);
+        });
+        t.row(&[
+            "simulate(32,4,16p)".into(),
+            b.name.into(),
+            fmt_us(med),
+            fmt_us(min),
+        ]);
+    }
+
+    println!("microbench ({runs} runs per case; build with --release for meaningful numbers)\n");
+    print!("{}", t.render());
+}

@@ -21,9 +21,12 @@ fn main() {
     for b in suite() {
         let opt = optimize(&b.program(), &OptConfig::pl());
         let time = |lib: Library| {
-            Simulator::new(&opt.program, SimConfig::timing(paragon.clone(), lib, b.paper_procs))
-                .run()
-                .time_s
+            Simulator::new(
+                &opt.program,
+                SimConfig::timing(paragon.clone(), lib, b.paper_procs),
+            )
+            .run()
+            .time_s
         };
         let sync = time(Library::NxSync);
         let asynk = time(Library::NxAsync);

@@ -35,8 +35,7 @@ fn main() {
         assert!(output.status.success(), "{name} failed");
         let text = String::from_utf8_lossy(&output.stdout);
         println!("{text}");
-        fs::write(out_dir.join(format!("{name}.txt")), text.as_bytes())
-            .expect("write result file");
+        fs::write(out_dir.join(format!("{name}.txt")), text.as_bytes()).expect("write result file");
     }
     println!("All results written to {}/", out_dir.display());
 }

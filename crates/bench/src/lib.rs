@@ -17,11 +17,30 @@
 //!
 //! This library holds the shared runner and formatting helpers.
 
+pub mod json;
+pub mod report;
+
 use commopt_benchmarks::{Benchmark, Experiment};
 use commopt_core::optimize;
 use commopt_ironman::Library;
 use commopt_machine::MachineSpec;
 use commopt_sim::{SimConfig, SimResult, Simulator};
+
+/// Parses an experiment name as accepted by the CLI binaries: the paper's
+/// names plus the cumulative `rr+cc`/`rr+cc+pl` spellings.
+pub fn parse_exp(s: &str) -> Result<Experiment, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" | "base" | "vec" => Ok(Experiment::Baseline),
+        "rr" => Ok(Experiment::Rr),
+        "cc" | "rr+cc" => Ok(Experiment::Cc),
+        "pl" | "rr+cc+pl" => Ok(Experiment::Pl),
+        "shmem" | "pl+shmem" | "pl-shmem" => Ok(Experiment::PlShmem),
+        "maxlat" | "max-latency" | "pl-maxlat" => Ok(Experiment::PlMaxLatency),
+        other => Err(format!(
+            "unknown experiment '{other}' (expected baseline, rr, rr+cc, rr+cc+pl, shmem, or maxlat)"
+        )),
+    }
+}
 
 /// One measured experiment row.
 #[derive(Clone, Copy, Debug)]
@@ -46,8 +65,11 @@ pub fn run_experiment_on(
 ) -> Measured {
     let program = bench.program();
     let opt = optimize(&program, &exp.config());
-    let r = Simulator::new(&opt.program, SimConfig::timing(machine.clone(), exp.library(), procs))
-        .run();
+    let r = Simulator::new(
+        &opt.program,
+        SimConfig::timing(machine.clone(), exp.library(), procs),
+    )
+    .run();
     Measured {
         static_count: opt.static_count(),
         dynamic_count: r.dynamic_comm,
@@ -74,7 +96,8 @@ pub fn exposed_overhead_us(
     msg_doubles: i64,
     iterations: u64,
 ) -> f64 {
-    let (with_comm, without) = commopt_benchmarks::synthetic::overhead_pair(msg_doubles, iterations);
+    let (with_comm, without) =
+        commopt_benchmarks::synthetic::overhead_pair(msg_doubles, iterations);
     let pl = commopt_core::OptConfig::pl();
     let a = optimize(&with_comm, &pl);
     let b = optimize(&without, &pl);
@@ -94,7 +117,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) {
@@ -116,7 +142,11 @@ impl Table {
                     out.push_str("  ");
                 }
                 // Right-align numbers, left-align text.
-                if c.chars().next().map(|ch| ch.is_ascii_digit()).unwrap_or(false) {
+                if c.chars()
+                    .next()
+                    .map(|ch| ch.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     out.push_str(&format!("{c:>w$}"));
                 } else {
                     out.push_str(&format!("{c:<w$}"));

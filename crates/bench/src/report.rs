@@ -1,0 +1,125 @@
+//! The plain-text profile report that accompanies an exported trace:
+//! a run summary, the per-transfer aggregate table (sorted by time lost
+//! waiting), the per-processor time breakdown, and the optimizer's pass
+//! log.
+
+use crate::Table;
+use commopt_core::PassLog;
+use commopt_ir::Program;
+use commopt_sim::SimResult;
+use std::fmt::Write as _;
+
+/// The display name of a transfer: its carried items, `A@east+B@east`.
+pub fn transfer_name(program: &Program, id: u32) -> String {
+    let t = &program.transfers[id as usize];
+    let items: Vec<String> = t
+        .items
+        .iter()
+        .map(|i| format!("{}{}", program.arrays[i.array.index()].name, i.offset))
+        .collect();
+    items.join("+")
+}
+
+fn ms(s: f64) -> String {
+    format!("{:.3} ms", s * 1e3)
+}
+
+/// Renders the full text report for one simulated run.
+pub fn profile_report(program: &Program, result: &SimResult, log: Option<&PassLog>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program: {}", program.name);
+    let _ = writeln!(
+        out,
+        "simulated time: {:.6} s  (skew {:.1}%)",
+        result.time_s,
+        result.skew() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "dynamic communications: {}  reductions: {}  comm fraction: {:.1}%",
+        result.dynamic_comm,
+        result.reductions,
+        result.comm_fraction() * 100.0
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "transfers (sorted by total DN wait):");
+    let mut t = Table::new(&["transfer", "items", "execs", "bytes", "wait", "max msg"]);
+    for (id, s) in result.top_transfers_by_wait() {
+        t.row(&[
+            format!("t{id}"),
+            transfer_name(program, id),
+            s.executions.to_string(),
+            s.bytes.to_string(),
+            ms(s.wait_s),
+            s.max_message_bytes.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "per-processor breakdown:");
+    let mut t = Table::new(&[
+        "proc", "compute", "send", "recv", "wait", "sync", "overhead", "clock",
+    ]);
+    for (p, b) in result.per_proc.iter().enumerate() {
+        t.row(&[
+            p.to_string(),
+            ms(b.compute_s),
+            ms(b.send_s),
+            ms(b.recv_s),
+            ms(b.wait_s),
+            ms(b.sync_s),
+            ms(b.overhead_s),
+            ms(result.per_proc_time_s.get(p).copied().unwrap_or(0.0)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    if let Some(log) = log {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "optimizer decisions ({} removals, {} merges, {} transfers emitted):",
+            log.removals().count(),
+            log.merges().count(),
+            log.emitted().count()
+        );
+        out.push_str(&log.render(program));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_benchmarks::simple;
+    use commopt_core::{optimize, OptConfig};
+    use commopt_ironman::Library;
+    use commopt_machine::MachineSpec;
+    use commopt_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn report_lists_every_transfer_and_proc() {
+        let b = simple();
+        let opt = optimize(&b.program_with(16, 2), &OptConfig::pl());
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(MachineSpec::t3d(), Library::Pvm, 4),
+        )
+        .run();
+        let report = profile_report(&opt.program, &r, Some(&opt.log));
+        for id in 0..opt.program.transfers.len() {
+            assert!(
+                report.contains(&format!("t{id}")),
+                "missing t{id}:\n{report}"
+            );
+        }
+        for p in 0..4 {
+            assert!(report
+                .lines()
+                .any(|l| l.trim_start().starts_with(&p.to_string())));
+        }
+        assert!(report.contains("optimizer decisions"));
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end validation of the trace exporter: record a benchmark run,
+//! export Chrome `trace_event` JSON, parse it back with the in-crate JSON
+//! parser, and check the events against the `SimResult` the same run
+//! produced.
+
+use commopt_bench::json::{parse, Json};
+use commopt_bench::parse_exp;
+use commopt_bench::report::profile_report;
+use commopt_benchmarks::{suite, swm, Experiment};
+use commopt_core::optimize;
+use commopt_machine::MachineSpec;
+use commopt_sim::{chrome_trace, Recorder, SimConfig, SimResult, Simulator, TraceEvent};
+
+const PROCS: usize = 4;
+
+fn traced_run(exp: Experiment) -> (commopt_ir::Program, SimResult, Vec<TraceEvent>) {
+    let b = swm();
+    let opt = optimize(&b.program_with(16, 2), &exp.config());
+    let rec = Recorder::new();
+    let r = Simulator::new(
+        &opt.program,
+        SimConfig::timing(MachineSpec::t3d(), exp.library(), PROCS).with_trace(rec.clone()),
+    )
+    .run();
+    (opt.program, r, rec.take())
+}
+
+#[test]
+fn exported_json_is_valid_chrome_trace() {
+    let (program, result, events) = traced_run(Experiment::Pl);
+    let json = chrome_trace(&events, &program);
+    let doc = parse(&json).expect("exporter emits valid JSON");
+    let arr = doc.as_arr().expect("top level is an event array");
+    assert_eq!(arr.len(), events.len());
+    for e in arr {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap();
+        assert!(pid >= 0.0 && (pid as usize) < PROCS);
+    }
+    // Every DN slice is named after its transfer and appears once per
+    // processor per execution: per-pid DN count == dynamic_comm.
+    for pid in 0..PROCS {
+        let dn = arr
+            .iter()
+            .filter(|e| {
+                e.get("pid").and_then(Json::as_f64) == Some(pid as f64)
+                    && e.get("args")
+                        .and_then(|a| a.get("call"))
+                        .and_then(Json::as_str)
+                        == Some("DN")
+            })
+            .count() as u64;
+        assert_eq!(dn, result.dynamic_comm, "pid {pid}");
+    }
+    // Transfer slices are named ("DN t3 [U@east+...]") and carry ids that
+    // exist in the program.
+    for e in arr {
+        if let Some(t) = e.get("args").and_then(|a| a.get("transfer")) {
+            let id = t.as_f64().unwrap() as usize;
+            assert!(id < program.transfers.len());
+            let name = e.get("name").and_then(Json::as_str).unwrap();
+            assert!(name.contains(&format!("t{id}")), "{name}");
+        }
+    }
+}
+
+#[test]
+fn export_is_deterministic_across_runs() {
+    let (p1, _, e1) = traced_run(Experiment::Pl);
+    let (p2, _, e2) = traced_run(Experiment::Pl);
+    assert_eq!(chrome_trace(&e1, &p1), chrome_trace(&e2, &p2));
+}
+
+#[test]
+fn tracing_leaves_the_result_unchanged() {
+    let b = swm();
+    let opt = optimize(&b.program_with(16, 2), &Experiment::Pl.config());
+    let cfg = SimConfig::timing(MachineSpec::t3d(), Experiment::Pl.library(), PROCS);
+    let plain = Simulator::new(&opt.program, cfg.clone()).run();
+    let (_, traced, _) = traced_run(Experiment::Pl);
+    assert_eq!(plain, traced);
+}
+
+#[test]
+fn report_covers_all_transfers_for_every_experiment() {
+    for exp in Experiment::ALL {
+        let (program, result, _) = traced_run(exp);
+        let report = profile_report(&program, &result, None);
+        for id in 0..program.transfers.len() {
+            assert!(
+                report.contains(&format!("t{id}")),
+                "{}: missing t{id}",
+                exp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_names_parse() {
+    assert_eq!(parse_exp("baseline").unwrap(), Experiment::Baseline);
+    assert_eq!(parse_exp("rr").unwrap(), Experiment::Rr);
+    assert_eq!(parse_exp("rr+cc").unwrap(), Experiment::Cc);
+    assert_eq!(parse_exp("rr+cc+pl").unwrap(), Experiment::Pl);
+    assert_eq!(parse_exp("SHMEM").unwrap(), Experiment::PlShmem);
+    assert_eq!(parse_exp("maxlat").unwrap(), Experiment::PlMaxLatency);
+    assert!(parse_exp("bogus").is_err());
+}
+
+#[test]
+fn passlog_names_a_removal_wherever_rr_reduces_the_static_count() {
+    for b in suite() {
+        let p = b.program_with(16, 2);
+        let base = optimize(&p, &Experiment::Baseline.config());
+        let rr = optimize(&p, &Experiment::Rr.config());
+        if rr.static_count() < base.static_count() {
+            assert!(
+                rr.log.removals().count() > 0,
+                "{}: rr reduced the count but logged no removal",
+                b.name
+            );
+            let rendered = rr.log.render(&rr.program);
+            assert!(rendered.contains("rr: removed"), "{}: {rendered}", b.name);
+        }
+    }
+}

@@ -154,7 +154,11 @@ mod tests {
             let rr = optimize(&p, &OptConfig::rr()).static_count();
             let cc = optimize(&p, &OptConfig::cc()).static_count();
             let ml = optimize(&p, &OptConfig::pl_max_latency()).static_count();
-            assert!(base > rr, "{}: rr must remove redundancy ({base} vs {rr})", b.name);
+            assert!(
+                base > rr,
+                "{}: rr must remove redundancy ({base} vs {rr})",
+                b.name
+            );
             assert!(rr > cc, "{}: cc must combine ({rr} vs {cc})", b.name);
             assert!(cc <= ml && ml <= rr, "{}: max-latency in between", b.name);
         }

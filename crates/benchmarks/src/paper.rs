@@ -84,7 +84,10 @@ pub struct PaperTable {
 impl PaperTable {
     /// The row for an experiment.
     pub fn row(&self, e: Experiment) -> PaperRow {
-        self.rows[Experiment::ALL.iter().position(|x| *x == e).expect("all variants listed")]
+        self.rows[Experiment::ALL
+            .iter()
+            .position(|x| *x == e)
+            .expect("all variants listed")]
     }
 
     /// The baseline row (the scaling denominator for Figures 8–12).
@@ -94,7 +97,11 @@ impl PaperTable {
 }
 
 const fn row(static_count: u64, dynamic_count: u64, time_s: f64) -> PaperRow {
-    PaperRow { static_count, dynamic_count, time_s: Some(time_s) }
+    PaperRow {
+        static_count,
+        dynamic_count,
+        time_s: Some(time_s),
+    }
 }
 
 /// Table 1: 128×128 TOMCATV on 64 processors.
@@ -143,7 +150,11 @@ pub const SP: PaperTable = PaperTable {
         row(84, 44286, 19.274767),
         row(84, 44286, 18.149760),
         row(84, 44286, 19.079338),
-        PaperRow { static_count: 92, dynamic_count: 53487, time_s: None },
+        PaperRow {
+            static_count: 92,
+            dynamic_count: 53487,
+            time_s: None,
+        },
     ],
 };
 

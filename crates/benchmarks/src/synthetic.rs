@@ -23,7 +23,10 @@ const BUSY_ROWS: i64 = 4096;
 
 /// Builds the (communicating, local) program pair for one message size.
 pub fn overhead_pair(msg_doubles: i64, iterations: u64) -> (Program, Program) {
-    (build(msg_doubles, iterations, true), build(msg_doubles, iterations, false))
+    (
+        build(msg_doubles, iterations, true),
+        build(msg_doubles, iterations, false),
+    )
 }
 
 fn build(msg_doubles: i64, iterations: u64, comm: bool) -> Program {
@@ -40,8 +43,16 @@ fn build(msg_doubles: i64, iterations: u64, comm: bool) -> Program {
     let busy_bounds = Rect::d2((1, BUSY_ROWS), (1, 2));
     let w = b.array("W", busy_bounds);
 
-    b.assign(Region::from_rect(bounds), a, Expr::Index(0) + Expr::Index(1));
-    b.assign(Region::from_rect(bounds), d, Expr::Index(0) - Expr::Index(1));
+    b.assign(
+        Region::from_rect(bounds),
+        a,
+        Expr::Index(0) + Expr::Index(1),
+    );
+    b.assign(
+        Region::from_rect(bounds),
+        d,
+        Expr::Index(0) - Expr::Index(1),
+    );
     b.assign(Region::from_rect(busy_bounds), w, Expr::Const(1.0));
 
     let col1 = Region::d2((1, msg_doubles), (1, 1));

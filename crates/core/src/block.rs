@@ -48,9 +48,10 @@ impl BlockInfo {
                 );
                 let region = match s {
                     Stmt::Assign { region, .. } => Some(*region),
-                    Stmt::ScalarAssign { rhs: ScalarRhs::Reduce { region, .. }, .. } => {
-                        Some(*region)
-                    }
+                    Stmt::ScalarAssign {
+                        rhs: ScalarRhs::Reduce { region, .. },
+                        ..
+                    } => Some(*region),
                     _ => None,
                 };
                 StmtInfo {
@@ -191,7 +192,10 @@ mod tests {
     fn segmentation_splits_on_loops() {
         let stmts = vec![
             Stmt::assign(r(), a(0), Expr::Const(1.0)),
-            Stmt::Repeat { count: 2, body: Block::default() },
+            Stmt::Repeat {
+                count: 2,
+                body: Block::default(),
+            },
             Stmt::assign(r(), a(0), Expr::Const(2.0)),
             Stmt::assign(r(), a(0), Expr::Const(3.0)),
         ];
@@ -205,6 +209,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "straight-line")]
     fn rejects_loops_in_block_info() {
-        BlockInfo::from_stmts(&[Stmt::Repeat { count: 1, body: Block::default() }]);
+        BlockInfo::from_stmts(&[Stmt::Repeat {
+            count: 1,
+            body: Block::default(),
+        }]);
     }
 }

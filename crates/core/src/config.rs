@@ -47,7 +47,10 @@ impl OptConfig {
 
     /// `rr`: baseline + redundant communication removal.
     pub fn rr() -> OptConfig {
-        OptConfig { redundant_removal: true, ..OptConfig::default() }
+        OptConfig {
+            redundant_removal: true,
+            ..OptConfig::default()
+        }
     }
 
     /// `cc`: rr + communication combination (maximized).
@@ -106,13 +109,19 @@ mod tests {
         assert_eq!(OptConfig::cc().combine, CombineMode::MaxCombining);
         assert!(!OptConfig::cc().pipeline);
         assert!(OptConfig::pl().pipeline);
-        assert_eq!(OptConfig::pl_max_latency().combine, CombineMode::MaxLatencyHiding);
+        assert_eq!(
+            OptConfig::pl_max_latency().combine,
+            CombineMode::MaxLatencyHiding
+        );
     }
 
     #[test]
     fn preset_table_names() {
         let names: Vec<&str> = OptConfig::presets().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["baseline", "rr", "cc", "pl", "pl with max latency"]);
+        assert_eq!(
+            names,
+            vec!["baseline", "rr", "cc", "pl", "pl with max latency"]
+        );
     }
 
     #[test]

@@ -26,14 +26,22 @@ fn count_block(block: &Block, env: &mut LoopEnv) -> u64 {
     let mut n = 0;
     for stmt in block.iter() {
         match stmt {
-            Stmt::Comm { kind: CallKind::DN, .. } => n += 1,
+            Stmt::Comm {
+                kind: CallKind::DN, ..
+            } => n += 1,
             Stmt::Comm { .. } => {}
             Stmt::Repeat { count, body } => {
                 // A repeat body has no loop variable, so one evaluation
                 // suffices.
                 n += count * count_block(body, env);
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 // Bounds may reference outer loop variables, so iterate
                 // explicitly rather than assuming constant trip counts.
                 let lo = lo.eval(env);
@@ -127,7 +135,11 @@ mod tests {
         b.assign(r, a, Expr::at(x, compass::EAST));
         // Main loop: combinable comm of X and Y.
         b.repeat(100, |b| {
-            b.assign(r, a, Expr::at(x, compass::NORTH) + Expr::at(y, compass::NORTH));
+            b.assign(
+                r,
+                a,
+                Expr::at(x, compass::NORTH) + Expr::at(y, compass::NORTH),
+            );
         });
         let p = b.finish();
 

@@ -2,15 +2,19 @@
 
 use crate::block::{segments, BlockInfo, Segment};
 use crate::config::OptConfig;
-use crate::planner::{plan_block, PlannedComm};
+use crate::passlog::{PassEvent, PassLog};
+use crate::planner::{plan_block_logged, PlannedComm};
 use commopt_ir::{Block, CallKind, Program, Stmt, Transfer, TransferId, TransferItem};
 
 /// The result of optimization: the instrumented program plus the
-/// configuration that produced it.
+/// configuration that produced it and a log of every pass decision.
 #[derive(Clone, Debug)]
 pub struct Optimized {
     pub program: Program,
     pub config: OptConfig,
+    /// What each pass did: removals, merges, and final placements
+    /// (see [`PassLog`]).
+    pub log: PassLog,
 }
 
 impl Optimized {
@@ -32,11 +36,21 @@ pub fn optimize_program(program: &Program, config: &OptConfig) -> Optimized {
     let mut out = program.clone();
     out.transfers.clear();
     let body = std::mem::take(&mut out.body);
-    out.body = rebuild_block(&mut out, &body, config);
-    Optimized { program: out, config: *config }
+    let mut log = PassLog::new();
+    out.body = rebuild_block(&mut out, &body, config, &mut log);
+    Optimized {
+        program: out,
+        config: *config,
+        log,
+    }
 }
 
-fn rebuild_block(program: &mut Program, block: &Block, config: &OptConfig) -> Block {
+fn rebuild_block(
+    program: &mut Program,
+    block: &Block,
+    config: &OptConfig,
+    log: &mut PassLog,
+) -> Block {
     let mut stmts = Vec::new();
     for seg in segments(&block.0) {
         match seg {
@@ -44,14 +58,20 @@ fn rebuild_block(program: &mut Program, block: &Block, config: &OptConfig) -> Bl
                 let rebuilt = match stmt {
                     Stmt::Repeat { count, body } => Stmt::Repeat {
                         count: *count,
-                        body: rebuild_block(program, body, config),
+                        body: rebuild_block(program, body, config, log),
                     },
-                    Stmt::For { var, lo, hi, step, body } => Stmt::For {
+                    Stmt::For {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    } => Stmt::For {
                         var: *var,
                         lo: *lo,
                         hi: *hi,
                         step: *step,
-                        body: rebuild_block(program, body, config),
+                        body: rebuild_block(program, body, config, log),
                     },
                     other => panic!("unexpected boundary statement {other:?}"),
                 };
@@ -64,8 +84,8 @@ fn rebuild_block(program: &mut Program, block: &Block, config: &OptConfig) -> Bl
                     "optimize() expects a source program without Comm statements"
                 );
                 let info = BlockInfo::from_stmts(&owned);
-                let plan = plan_block(&info, config);
-                emit_block(program, &owned, &plan, &mut stmts);
+                let plan = plan_block_logged(&info, config, log);
+                emit_block(program, &owned, &plan, config, log, &mut stmts);
             }
         }
     }
@@ -78,16 +98,39 @@ fn rebuild_block(program: &mut Program, block: &Block, config: &OptConfig) -> Bl
 /// (each group in plan order). This keeps SR ahead of DN for transfers
 /// whose send and receive share a gap, and emits an unpipelined quad in the
 /// canonical DR/SR/DN/SV order of the paper's §3.1 example.
-fn emit_block(program: &mut Program, stmts: &[Stmt], plan: &[PlannedComm], out: &mut Vec<Stmt>) {
+fn emit_block(
+    program: &mut Program,
+    stmts: &[Stmt],
+    plan: &[PlannedComm],
+    config: &OptConfig,
+    log: &mut PassLog,
+    out: &mut Vec<Stmt>,
+) {
     // Register transfers and collect (gap, kind, id) events.
     let mut events: Vec<(usize, CallKind, TransferId)> = Vec::new();
     for comm in plan {
         let items: Vec<TransferItem> = comm
             .items
             .iter()
-            .map(|i| TransferItem { array: i.r.array, offset: i.r.offset, regions: i.regions.clone() })
+            .map(|i| TransferItem {
+                array: i.r.array,
+                offset: i.r.offset,
+                regions: i.regions.clone(),
+            })
             .collect();
         let id = program.add_transfer(items);
+        log.push(PassEvent::Emitted {
+            seq: comm.seq,
+            transfer: id,
+            items: comm.items.len(),
+            offset: comm.offset(),
+            dr_gap: comm.dr_gap,
+            sr_gap: comm.sr_gap,
+            dn_gap: comm.dn_gap,
+            sv_gap: comm.sv_gap,
+            pipelined: config.pipeline,
+            split: config.pipeline && comm.sr_gap < comm.dn_gap,
+        });
         events.push((comm.dr_gap, CallKind::DR, id));
         events.push((comm.sr_gap, CallKind::SR, id));
         events.push((comm.dn_gap, CallKind::DN, id));
@@ -118,7 +161,11 @@ fn emit_block(program: &mut Program, stmts: &[Stmt], plan: &[PlannedComm], out: 
 pub fn dn_transfers(program: &Program) -> Vec<Transfer> {
     let mut out = Vec::new();
     commopt_ir::visit::walk_stmts(&program.body, &mut |s, _| {
-        if let Stmt::Comm { kind: CallKind::DN, transfer } = s {
+        if let Stmt::Comm {
+            kind: CallKind::DN,
+            transfer,
+        } = s
+        {
             out.push(program.transfer(*transfer).clone());
         }
     });
@@ -185,11 +232,27 @@ mod tests {
         let body = &opt.program.body.0;
         let sr = body
             .iter()
-            .position(|s| matches!(s, Stmt::Comm { kind: CallKind::SR, .. }))
+            .position(|s| {
+                matches!(
+                    s,
+                    Stmt::Comm {
+                        kind: CallKind::SR,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         let dn = body
             .iter()
-            .position(|s| matches!(s, Stmt::Comm { kind: CallKind::DN, .. }))
+            .position(|s| {
+                matches!(
+                    s,
+                    Stmt::Comm {
+                        kind: CallKind::DN,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert!(sr < dn);
     }
@@ -235,7 +298,13 @@ mod tests {
     fn source_statement_order_is_preserved() {
         let p = figure1_program();
         let opt = optimize(&p, &OptConfig::pl());
-        let source: Vec<&Stmt> = opt.program.body.0.iter().filter(|s| s.is_source_stmt()).collect();
+        let source: Vec<&Stmt> = opt
+            .program
+            .body
+            .0
+            .iter()
+            .filter(|s| s.is_source_stmt())
+            .collect();
         assert_eq!(source.len(), 4);
         // Spot-check: first source statement still writes B.
         assert!(matches!(source[0], Stmt::Assign { lhs, .. } if lhs.index() == 0));

@@ -80,12 +80,24 @@ fn hoist_block(program: &Program, block: Block, stats: &mut GlobalStats) -> Bloc
                 out.extend(hoisted);
                 out.push(Stmt::Repeat { count, body });
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let body = hoist_block(program, body, stats);
                 let (hoisted, body) = split_invariant(program, body, Some(var));
                 stats.hoisted += (hoisted.len() / 4) as u64;
                 out.extend(hoisted);
-                out.push(Stmt::For { var, lo, hi, step, body });
+                out.push(Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                });
             }
             other => out.push(other),
         }
@@ -108,7 +120,11 @@ fn split_invariant(
     // Transfers whose calls appear directly in this statement list.
     let mut direct: Vec<TransferId> = Vec::new();
     for s in body.iter() {
-        if let Stmt::Comm { transfer, kind: CallKind::DN } = s {
+        if let Stmt::Comm {
+            transfer,
+            kind: CallKind::DN,
+        } = s
+        {
             direct.push(*transfer);
         }
     }
@@ -155,17 +171,22 @@ fn mark_redundant(
             Stmt::Comm { transfer, kind } => {
                 let tr = program.transfer(*transfer);
                 if decided.insert(*transfer) {
-                    let covered = tr
-                        .items
-                        .iter()
-                        .all(|it| avail.contains(&CommRef { array: it.array, offset: it.offset }));
+                    let covered = tr.items.iter().all(|it| {
+                        avail.contains(&CommRef {
+                            array: it.array,
+                            offset: it.offset,
+                        })
+                    });
                     if covered {
                         remove.insert(*transfer);
                     }
                 }
                 if *kind == CallKind::DN && !remove.contains(transfer) {
                     for it in &tr.items {
-                        avail.insert(CommRef { array: it.array, offset: it.offset });
+                        avail.insert(CommRef {
+                            array: it.array,
+                            offset: it.offset,
+                        });
                     }
                 }
             }
@@ -199,7 +220,13 @@ fn strip_transfers(block: &Block, remove: &HashSet<TransferId>) -> Block {
                 count: *count,
                 body: strip_transfers(body, remove),
             },
-            Stmt::For { var, lo, hi, step, body } => Stmt::For {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => Stmt::For {
                 var: *var,
                 lo: *lo,
                 hi: *hi,
@@ -271,7 +298,11 @@ mod tests {
         let x = b.array("X", bounds());
         let a = b.array("A", bounds());
         let c = b.array("C", bounds());
-        b.assign(Region::from_rect(bounds()), x, Expr::Index(0) + Expr::Index(1));
+        b.assign(
+            Region::from_rect(bounds()),
+            x,
+            Expr::Index(0) + Expr::Index(1),
+        );
         b.assign(interior(), a, Expr::at(x, compass::EAST));
         b.repeat(10, |b| {
             b.assign(interior(), c, Expr::at(x, compass::EAST) + Expr::local(c));

@@ -53,6 +53,7 @@ pub mod config;
 pub mod counts;
 pub mod emit;
 pub mod global;
+pub mod passlog;
 pub mod planner;
 pub mod verify;
 
@@ -61,7 +62,8 @@ pub use config::{CombineMode, OptConfig};
 pub use counts::{dynamic_count, static_count};
 pub use emit::Optimized;
 pub use global::{global_pass, GlobalStats};
-pub use planner::{plan_block, PlannedComm};
+pub use passlog::{PassEvent, PassLog};
+pub use planner::{plan_block, plan_block_logged, PlannedComm};
 pub use verify::{verify_plan, PlanError};
 
 use commopt_ir::Program;

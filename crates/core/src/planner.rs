@@ -6,6 +6,7 @@
 
 use crate::block::BlockInfo;
 use crate::config::{CombineMode, OptConfig};
+use crate::passlog::{PassEvent, PassLog};
 use commopt_ir::analysis::CommRef;
 use commopt_ir::{Offset, Region};
 use std::collections::HashMap;
@@ -30,6 +31,9 @@ pub struct PlannedItem {
 /// and the gaps at which its four IRONMAN calls are emitted.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PlannedComm {
+    /// Generation sequence number, unique over the whole `optimize` run —
+    /// the identity the [`PassLog`] uses to refer to this communication.
+    pub seq: u32,
     /// Items carried; all share one offset.
     pub items: Vec<PlannedItem>,
     /// Placement of the four calls (filled by [`place`]).
@@ -40,8 +44,15 @@ pub struct PlannedComm {
 }
 
 impl PlannedComm {
-    fn single(item: PlannedItem) -> PlannedComm {
-        PlannedComm { items: vec![item], dr_gap: 0, sr_gap: 0, dn_gap: 0, sv_gap: 0 }
+    fn single(seq: u32, item: PlannedItem) -> PlannedComm {
+        PlannedComm {
+            seq,
+            items: vec![item],
+            dr_gap: 0,
+            sr_gap: 0,
+            dn_gap: 0,
+            sv_gap: 0,
+        }
     }
 
     /// The shared shift direction.
@@ -87,16 +98,25 @@ impl PlannedComm {
 /// 4. placement — pipelined (early DR/SR, late SV) or synchronous (all
 ///    four calls immediately before the first use).
 pub fn plan_block(info: &BlockInfo, config: &OptConfig) -> Vec<PlannedComm> {
-    let mut comms = generate(info, config.redundant_removal);
+    plan_block_logged(info, config, &mut PassLog::new())
+}
+
+/// [`plan_block`], recording every removal and merge decision in `log`.
+pub fn plan_block_logged(
+    info: &BlockInfo,
+    config: &OptConfig,
+    log: &mut PassLog,
+) -> Vec<PlannedComm> {
+    let mut comms = generate(info, config.redundant_removal, log);
     if config.combine != CombineMode::Off {
-        comms = combine(info, comms, config);
+        comms = combine(info, comms, config, log);
     }
     place(&mut comms, config.pipeline);
     comms
 }
 
 /// Stages 1–2: vectorized generation, optionally reusing still-valid data.
-fn generate(info: &BlockInfo, redundant_removal: bool) -> Vec<PlannedComm> {
+fn generate(info: &BlockInfo, redundant_removal: bool, log: &mut PassLog) -> Vec<PlannedComm> {
     let mut comms: Vec<PlannedComm> = Vec::new();
     // (array, offset) -> index of the comm whose data is still valid.
     let mut valid: HashMap<CommRef, usize> = HashMap::new();
@@ -119,6 +139,12 @@ fn generate(info: &BlockInfo, redundant_removal: bool) -> Vec<PlannedComm> {
                             item.regions.push(region);
                         }
                     }
+                    log.push(PassEvent::Removed {
+                        array: r.array,
+                        offset: r.offset,
+                        use_stmt: s,
+                        reused_seq: comms[c].seq,
+                    });
                     continue;
                 }
             }
@@ -130,7 +156,7 @@ fn generate(info: &BlockInfo, redundant_removal: bool) -> Vec<PlannedComm> {
                 regions: stmt.region.into_iter().collect(),
             };
             valid.insert(r, comms.len());
-            comms.push(PlannedComm::single(item));
+            comms.push(PlannedComm::single(log.alloc_seq(), item));
         }
         // A write invalidates every cached ghost copy of the array.
         if let Some(w) = stmt.writes {
@@ -141,12 +167,23 @@ fn generate(info: &BlockInfo, redundant_removal: bool) -> Vec<PlannedComm> {
 }
 
 /// Stage 3: merge same-offset transfers under the configured heuristic.
-fn combine(info: &BlockInfo, comms: Vec<PlannedComm>, config: &OptConfig) -> Vec<PlannedComm> {
+fn combine(
+    info: &BlockInfo,
+    comms: Vec<PlannedComm>,
+    config: &OptConfig,
+    log: &mut PassLog,
+) -> Vec<PlannedComm> {
     let mut out: Vec<PlannedComm> = Vec::new();
     for comm in comms {
         let mut merged = false;
         for host in out.iter_mut() {
             if can_combine(info, host, &comm, config) {
+                log.push(PassEvent::Combined {
+                    host_seq: host.seq,
+                    merged_seq: comm.seq,
+                    offset: comm.offset(),
+                    mode: config.combine,
+                });
                 host.items.extend(comm.items.iter().cloned());
                 merged = true;
                 break;
@@ -252,7 +289,7 @@ mod tests {
     fn naive_generation_matches_figure_1a() {
         let comms = plan_block(&figure1(), &OptConfig::baseline());
         assert_eq!(comms.len(), 3); // B, B again, E
-        // Every quad sits immediately before its use.
+                                    // Every quad sits immediately before its use.
         for c in &comms {
             assert_eq!(c.dr_gap, c.dn_gap);
             assert_eq!(c.sr_gap, c.dn_gap);
@@ -266,8 +303,14 @@ mod tests {
     fn redundant_removal_matches_figure_1b() {
         let comms = plan_block(&figure1(), &OptConfig::rr());
         assert_eq!(comms.len(), 2); // second B comm removed
-        assert!(comms[0].carries(CommRef { array: a(0), offset: compass::EAST }));
-        assert!(comms[1].carries(CommRef { array: a(4), offset: compass::EAST }));
+        assert!(comms[0].carries(CommRef {
+            array: a(0),
+            offset: compass::EAST
+        }));
+        assert!(comms[1].carries(CommRef {
+            array: a(4),
+            offset: compass::EAST
+        }));
     }
 
     #[test]
@@ -390,7 +433,10 @@ mod tests {
             Stmt::assign(r(), a(2), rf(3, compass::EAST)),
             Stmt::assign(r(), a(4), rf(5, compass::EAST)),
         ]);
-        let cfg = OptConfig { max_combined_items: Some(2), ..OptConfig::cc() };
+        let cfg = OptConfig {
+            max_combined_items: Some(2),
+            ..OptConfig::cc()
+        };
         let comms = plan_block(&info, &cfg);
         assert_eq!(comms.len(), 2);
         assert_eq!(comms[0].items.len(), 2);

@@ -24,12 +24,21 @@ pub enum PlanError {
     UsedBeforeDelivery { r: String },
     /// Calls of one transfer out of order (must satisfy DR ≤ SR ≤ DN and
     /// SR ≤ SV within the block).
-    CallOrder { transfer: TransferId, detail: &'static str },
+    CallOrder {
+        transfer: TransferId,
+        detail: &'static str,
+    },
     /// A call kind executed more than once, or missing, for a transfer.
-    CallMultiplicity { transfer: TransferId, kind: CallKind },
+    CallMultiplicity {
+        transfer: TransferId,
+        kind: CallKind,
+    },
     /// An array carried by an in-flight message (SR seen, SV not yet) was
     /// overwritten.
-    VolatileSource { transfer: TransferId, array: ArrayId },
+    VolatileSource {
+        transfer: TransferId,
+        array: ArrayId,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -69,7 +78,13 @@ pub fn verify_plan(program: &Program) -> Result<(), Vec<PlanError>> {
     let mut errs = Vec::new();
     let mut versions: HashMap<ArrayId, u64> = HashMap::new();
     let mut ghosts: HashMap<CommRef, (TransferId, u64)> = HashMap::new();
-    verify_block(program, &program.body, &mut versions, &mut ghosts, &mut errs);
+    verify_block(
+        program,
+        &program.body,
+        &mut versions,
+        &mut ghosts,
+        &mut errs,
+    );
     if errs.is_empty() {
         Ok(())
     } else {
@@ -111,8 +126,7 @@ fn verify_block(
     // statement list; this map is scoped to the current block.
     let mut transfers: HashMap<TransferId, TransferState> = HashMap::new();
 
-    let flush = |transfers: &mut HashMap<TransferId, TransferState>,
-                 errs: &mut Vec<PlanError>| {
+    let flush = |transfers: &mut HashMap<TransferId, TransferState>, errs: &mut Vec<PlanError>| {
         for (id, st) in transfers.drain() {
             for (kind, n) in [
                 (CallKind::DR, st.dr),
@@ -164,7 +178,10 @@ fn verify_block(
                                 .map(|(_, v)| *v)
                                 .unwrap_or(0);
                             ghosts.insert(
-                                CommRef { array: it.array, offset: it.offset },
+                                CommRef {
+                                    array: it.array,
+                                    offset: it.offset,
+                                },
                                 (*transfer, v),
                             );
                         }
@@ -217,7 +234,10 @@ fn verify_block(
                             && st.sv == 0
                             && program.transfer(*id).items.iter().any(|it| it.array == w)
                         {
-                            errs.push(PlanError::VolatileSource { transfer: *id, array: w });
+                            errs.push(PlanError::VolatileSource {
+                                transfer: *id,
+                                array: w,
+                            });
                         }
                     }
                 }
@@ -243,11 +263,19 @@ mod tests {
         let y = b.array("Y", bounds);
         let a = b.array("A", bounds);
         b.assign(r, x, Expr::Const(1.0));
-        b.assign(r, a, Expr::at(x, compass::EAST) + Expr::at(y, compass::EAST));
+        b.assign(
+            r,
+            a,
+            Expr::at(x, compass::EAST) + Expr::at(y, compass::EAST),
+        );
         b.repeat(3, |b| {
             b.assign(r, y, Expr::at(x, compass::NORTH));
             b.assign(r, x, Expr::at(y, compass::SOUTH));
-            b.assign(r, a, Expr::at(x, compass::NORTH) - Expr::at(x, compass::SOUTH));
+            b.assign(
+                r,
+                a,
+                Expr::at(x, compass::NORTH) - Expr::at(x, compass::SOUTH),
+            );
         });
         b.finish()
     }
@@ -281,7 +309,11 @@ mod tests {
         let mut p = Program::new("bad");
         let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
         let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
-        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((1, 4), (1, 4)),
+        )]);
         let r = Region::d2((2, 7), (2, 7));
         p.body = Block::new(vec![
             Stmt::comm(CallKind::DR, t),
@@ -292,7 +324,11 @@ mod tests {
             Stmt::assign(r, a, Expr::at(x, compass::EAST)),
         ]);
         let errs = verify_plan(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, PlanError::StaleData { .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, PlanError::StaleData { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -300,7 +336,11 @@ mod tests {
         let mut p = Program::new("bad");
         let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
         let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
-        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((1, 4), (1, 4)),
+        )]);
         let r = Region::d2((2, 7), (2, 7));
         // DN before SR, and DR/SV missing entirely.
         p.body = Block::new(vec![
@@ -309,8 +349,12 @@ mod tests {
             Stmt::assign(r, a, Expr::at(x, compass::EAST)),
         ]);
         let errs = verify_plan(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, PlanError::CallOrder { .. })));
-        assert!(errs.iter().any(|e| matches!(e, PlanError::CallMultiplicity { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::CallOrder { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::CallMultiplicity { .. })));
     }
 
     #[test]
@@ -319,7 +363,11 @@ mod tests {
         let mut p = Program::new("bad");
         let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
         let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
-        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((1, 4), (1, 4)),
+        )]);
         let r = Region::d2((2, 7), (2, 7));
         p.body = Block::new(vec![
             Stmt::comm(CallKind::DR, t),
@@ -330,7 +378,11 @@ mod tests {
             Stmt::comm(CallKind::SV, t),
         ]);
         let errs = verify_plan(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, PlanError::VolatileSource { .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, PlanError::VolatileSource { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -341,7 +393,11 @@ mod tests {
         let mut p = Program::new("bad");
         let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
         let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
-        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((1, 4), (1, 4)))]);
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((1, 4), (1, 4)),
+        )]);
         let r = Region::d2((2, 7), (2, 7));
         p.body = Block::new(vec![
             Stmt::comm(CallKind::DR, t),
@@ -357,7 +413,9 @@ mod tests {
             },
         ]);
         let errs = verify_plan(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, PlanError::MissingCommunication { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::MissingCommunication { .. })));
     }
 
     #[test]
@@ -368,7 +426,11 @@ mod tests {
         let mut p = Program::new("ok");
         let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
         let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
-        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, Region::d2((2, 7), (2, 7)))]);
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((2, 7), (2, 7)),
+        )]);
         let r = Region::d2((2, 7), (2, 7));
         p.body = Block::new(vec![
             Stmt::comm(CallKind::DR, t),
@@ -385,7 +447,10 @@ mod tests {
 
     #[test]
     fn error_display_renders() {
-        let e = PlanError::CallOrder { transfer: TransferId(3), detail: "DN before SR" };
+        let e = PlanError::CallOrder {
+            transfer: TransferId(3),
+            detail: "DN before SR",
+        };
         assert!(e.to_string().contains("DN before SR"));
     }
 

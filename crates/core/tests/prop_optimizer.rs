@@ -1,11 +1,12 @@
-//! Property tests: every optimizer configuration must produce a
+//! Randomized tests: every optimizer configuration must produce a
 //! communication-safe plan for arbitrary programs, and the paper's count
 //! orderings must hold (baseline ≥ rr ≥ cc statically and dynamically).
+//! Programs are generated from seeded commopt-testkit generators.
 
 use commopt_core::{dynamic_count, optimize, verify_plan, CombineMode, OptConfig};
 use commopt_ir::offset::compass;
 use commopt_ir::{validate, Expr, Offset, Program, ProgramBuilder, Rect, Region};
-use proptest::prelude::*;
+use commopt_testkit::{cases, Rng};
 
 const N: i64 = 12;
 const NUM_ARRAYS: u32 = 5;
@@ -19,100 +20,111 @@ fn interior() -> Region {
 }
 
 /// A random shifted or local reference.
-fn arb_ref() -> impl Strategy<Value = Expr> {
-    (0..NUM_ARRAYS, 0..9usize).prop_map(|(a, o)| {
-        let offsets: [Offset; 9] = [
-            Offset::ZERO,
-            compass::EAST,
-            compass::WEST,
-            compass::NORTH,
-            compass::SOUTH,
-            compass::SE,
-            compass::NE,
-            compass::SW,
-            compass::NW,
-        ];
-        Expr::at(commopt_ir::ArrayId(a), offsets[o])
-    })
+fn arb_ref(rng: &mut Rng) -> Expr {
+    let offsets: [Offset; 9] = [
+        Offset::ZERO,
+        compass::EAST,
+        compass::WEST,
+        compass::NORTH,
+        compass::SOUTH,
+        compass::SE,
+        compass::NE,
+        compass::SW,
+        compass::NW,
+    ];
+    Expr::at(
+        commopt_ir::ArrayId(rng.u32(0, NUM_ARRAYS - 1)),
+        *rng.pick(&offsets),
+    )
 }
 
 /// A random RHS combining 1–3 references.
-fn arb_rhs() -> impl Strategy<Value = Expr> {
-    prop::collection::vec(arb_ref(), 1..4).prop_map(|refs| {
-        refs.into_iter()
-            .reduce(|a, b| a + b)
-            .expect("at least one ref")
-    })
+fn arb_rhs(rng: &mut Rng) -> Expr {
+    rng.vec_of(1, 3, arb_ref)
+        .into_iter()
+        .reduce(|a, b| a + b)
+        .expect("at least one ref")
 }
 
 /// One random statement: (lhs array, rhs).
 type RandStmt = (u32, Expr);
 
-fn arb_stmt() -> impl Strategy<Value = RandStmt> {
-    (0..NUM_ARRAYS, arb_rhs())
+fn arb_stmt(rng: &mut Rng) -> RandStmt {
+    (rng.u32(0, NUM_ARRAYS - 1), arb_rhs(rng))
 }
 
 /// A random program: a straight-line prologue, a repeat loop, an epilogue.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(arb_stmt(), 0..6),
-        prop::collection::vec(arb_stmt(), 1..8),
-        prop::collection::vec(arb_stmt(), 0..4),
-        1u64..4,
-    )
-        .prop_map(|(pre, body, post, trips)| {
-            let mut b = ProgramBuilder::new("prop");
-            for i in 0..NUM_ARRAYS {
-                b.array(format!("A{i}"), bounds());
-            }
-            let emit = |b: &mut ProgramBuilder, stmts: &[RandStmt]| {
-                for (lhs, rhs) in stmts {
-                    b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
-                }
-            };
-            emit(&mut b, &pre);
-            b.repeat(trips, |b| emit(b, &body));
-            emit(&mut b, &post);
-            b.finish()
-        })
+fn arb_program(rng: &mut Rng) -> Program {
+    let pre = rng.vec_of(0, 5, arb_stmt);
+    let body = rng.vec_of(1, 7, arb_stmt);
+    let post = rng.vec_of(0, 3, arb_stmt);
+    let trips = rng.i64(1, 3) as u64;
+    let mut b = ProgramBuilder::new("prop");
+    for i in 0..NUM_ARRAYS {
+        b.array(format!("A{i}"), bounds());
+    }
+    let emit = |b: &mut ProgramBuilder, stmts: &[RandStmt]| {
+        for (lhs, rhs) in stmts {
+            b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
+        }
+    };
+    emit(&mut b, &pre);
+    b.repeat(trips, |b| emit(b, &body));
+    emit(&mut b, &post);
+    b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn generated_programs_are_valid() {
+    cases(128, |rng| {
+        assert!(validate(&arb_program(rng)).is_ok());
+    });
+}
 
-    #[test]
-    fn generated_programs_are_valid(p in arb_program()) {
-        prop_assert!(validate(&p).is_ok());
-    }
-
-    #[test]
-    fn every_preset_produces_safe_plans(p in arb_program()) {
+#[test]
+fn every_preset_produces_safe_plans() {
+    cases(128, |rng| {
+        let p = arb_program(rng);
         for (name, cfg) in OptConfig::presets() {
             let opt = optimize(&p, &cfg);
             if let Err(errs) = verify_plan(&opt.program) {
-                prop_assert!(false, "{name} produced unsafe plan: {errs:?}");
+                panic!("{name} produced unsafe plan: {errs:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn independent_toggles_produce_safe_plans(
-        p in arb_program(),
-        rr in any::<bool>(),
-        combine in 0..3usize,
-        pl in any::<bool>(),
-        cap in prop::option::of(1usize..4),
-    ) {
-        let combine = [CombineMode::Off, CombineMode::MaxCombining, CombineMode::MaxLatencyHiding][combine];
-        let cfg = OptConfig { redundant_removal: rr, combine, pipeline: pl, max_combined_items: cap };
+#[test]
+fn independent_toggles_produce_safe_plans() {
+    cases(128, |rng| {
+        let p = arb_program(rng);
+        let combine = *rng.pick(&[
+            CombineMode::Off,
+            CombineMode::MaxCombining,
+            CombineMode::MaxLatencyHiding,
+        ]);
+        let cap = if rng.bool() {
+            Some(rng.usize(1, 3))
+        } else {
+            None
+        };
+        let cfg = OptConfig {
+            redundant_removal: rng.bool(),
+            combine,
+            pipeline: rng.bool(),
+            max_combined_items: cap,
+        };
         let opt = optimize(&p, &cfg);
         if let Err(errs) = verify_plan(&opt.program) {
-            prop_assert!(false, "unsafe plan for {cfg:?}: {errs:?}");
+            panic!("unsafe plan for {cfg:?}: {errs:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_orderings_match_paper(p in arb_program()) {
+#[test]
+fn count_orderings_match_paper() {
+    cases(128, |rng| {
+        let p = arb_program(rng);
         let base = optimize(&p, &OptConfig::baseline());
         let rr = optimize(&p, &OptConfig::rr());
         let cc = optimize(&p, &OptConfig::cc());
@@ -120,52 +132,66 @@ proptest! {
         let ml = optimize(&p, &OptConfig::pl_max_latency());
 
         // Static: baseline >= rr >= cc; pipelining never changes counts.
-        prop_assert!(base.static_count() >= rr.static_count());
-        prop_assert!(rr.static_count() >= cc.static_count());
-        prop_assert_eq!(cc.static_count(), pl.static_count());
+        assert!(base.static_count() >= rr.static_count());
+        assert!(rr.static_count() >= cc.static_count());
+        assert_eq!(cc.static_count(), pl.static_count());
         // Max-latency combining never combines more than max combining.
-        prop_assert!(ml.static_count() >= pl.static_count());
-        prop_assert!(ml.static_count() <= rr.static_count());
+        assert!(ml.static_count() >= pl.static_count());
+        assert!(ml.static_count() <= rr.static_count());
 
         // Dynamic mirrors static orderings.
-        prop_assert!(dynamic_count(&base.program) >= dynamic_count(&rr.program));
-        prop_assert!(dynamic_count(&rr.program) >= dynamic_count(&cc.program));
-        prop_assert_eq!(dynamic_count(&cc.program), dynamic_count(&pl.program));
-    }
+        assert!(dynamic_count(&base.program) >= dynamic_count(&rr.program));
+        assert!(dynamic_count(&rr.program) >= dynamic_count(&cc.program));
+        assert_eq!(dynamic_count(&cc.program), dynamic_count(&pl.program));
+    });
+}
 
-    #[test]
-    fn global_pass_is_safe_and_monotone(p in arb_program()) {
+#[test]
+fn global_pass_is_safe_and_monotone() {
+    cases(128, |rng| {
+        let p = arb_program(rng);
         for (_, cfg) in OptConfig::presets() {
             let opt = optimize(&p, &cfg);
             let before = dynamic_count(&opt.program);
             let mut program = opt.program.clone();
             let stats = commopt_core::global_pass(&mut program);
             if let Err(errs) = verify_plan(&program) {
-                prop_assert!(false, "global pass produced unsafe plan: {errs:?}");
+                panic!("global pass produced unsafe plan: {errs:?}");
             }
             let after = dynamic_count(&program);
-            prop_assert!(after <= before, "global pass increased counts: {after} > {before}");
+            assert!(
+                after <= before,
+                "global pass increased counts: {after} > {before}"
+            );
             if stats.removed == 0 && stats.hoisted == 0 {
-                prop_assert_eq!(after, before);
+                assert_eq!(after, before);
             }
-            prop_assert_eq!(program.transfers.len() as u64,
-                opt.program.transfers.len() as u64 - stats.removed);
+            assert_eq!(
+                program.transfers.len() as u64,
+                opt.program.transfers.len() as u64 - stats.removed
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimization_is_deterministic(p in arb_program()) {
+#[test]
+fn optimization_is_deterministic() {
+    cases(64, |rng| {
+        let p = arb_program(rng);
         for (_, cfg) in OptConfig::presets() {
             let a = optimize(&p, &cfg);
             let b = optimize(&p, &cfg);
-            prop_assert_eq!(a.program, b.program);
+            assert_eq!(a.program, b.program);
         }
-    }
+    });
+}
 
-    #[test]
-    fn combination_preserves_total_items(p in arb_program()) {
+#[test]
+fn combination_preserves_total_items() {
+    cases(128, |rng| {
         // cc merges messages but never changes the data volume: the multiset
         // of carried (array, offset) items equals rr's.
+        let p = arb_program(rng);
         let rr = optimize(&p, &OptConfig::rr());
         let cc = optimize(&p, &OptConfig::cc());
         let items = |o: &commopt_core::Optimized| {
@@ -178,6 +204,6 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(items(&rr), items(&cc));
-    }
+        assert_eq!(items(&rr), items(&cc));
+    });
 }

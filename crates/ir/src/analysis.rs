@@ -19,7 +19,10 @@ pub fn comm_refs(expr: &Expr) -> Vec<CommRef> {
     expr.walk(&mut |e| {
         if let Expr::Ref { array, offset } = e {
             if !offset.is_zero() {
-                let r = CommRef { array: *array, offset: *offset };
+                let r = CommRef {
+                    array: *array,
+                    offset: *offset,
+                };
                 if !out.contains(&r) {
                     out.push(r);
                 }
@@ -35,7 +38,10 @@ pub fn comm_refs(expr: &Expr) -> Vec<CommRef> {
 pub fn stmt_comm_refs(stmt: &Stmt) -> Vec<CommRef> {
     match stmt {
         Stmt::Assign { rhs, .. } => comm_refs(rhs),
-        Stmt::ScalarAssign { rhs: ScalarRhs::Reduce { expr, .. }, .. } => comm_refs(expr),
+        Stmt::ScalarAssign {
+            rhs: ScalarRhs::Reduce { expr, .. },
+            ..
+        } => comm_refs(expr),
         _ => Vec::new(),
     }
 }
@@ -98,8 +104,14 @@ mod tests {
         assert_eq!(
             refs,
             vec![
-                CommRef { array: ArrayId(0), offset: compass::EAST },
-                CommRef { array: ArrayId(0), offset: compass::WEST },
+                CommRef {
+                    array: ArrayId(0),
+                    offset: compass::EAST
+                },
+                CommRef {
+                    array: ArrayId(0),
+                    offset: compass::WEST
+                },
             ]
         );
     }
@@ -127,7 +139,10 @@ mod tests {
 
     #[test]
     fn loops_have_no_direct_refs() {
-        let s = Stmt::Repeat { count: 2, body: crate::stmt::Block::default() };
+        let s = Stmt::Repeat {
+            count: 2,
+            body: crate::stmt::Block::default(),
+        };
         assert!(stmt_comm_refs(&s).is_empty());
     }
 

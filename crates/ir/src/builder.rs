@@ -33,7 +33,10 @@ pub struct ProgramBuilder {
 
 impl ProgramBuilder {
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder { program: Program::new(name), stack: vec![Vec::new()] }
+        ProgramBuilder {
+            program: Program::new(name),
+            stack: vec![Vec::new()],
+        }
     }
 
     /// Declares an array over `rect`.
@@ -59,13 +62,19 @@ impl ProgramBuilder {
 
     /// Appends a scalar assignment from a pure scalar expression.
     pub fn scalar_assign(&mut self, lhs: ScalarId, rhs: Expr) -> &mut Self {
-        self.push(Stmt::ScalarAssign { lhs, rhs: ScalarRhs::Expr(rhs) });
+        self.push(Stmt::ScalarAssign {
+            lhs,
+            rhs: ScalarRhs::Expr(rhs),
+        });
         self
     }
 
     /// Appends `lhs := op<< [region] expr` (a full reduction).
     pub fn reduce(&mut self, lhs: ScalarId, op: ReduceOp, region: Region, expr: Expr) -> &mut Self {
-        self.push(Stmt::ScalarAssign { lhs, rhs: ScalarRhs::Reduce { op, region, expr } });
+        self.push(Stmt::ScalarAssign {
+            lhs,
+            rhs: ScalarRhs::Reduce { op, region, expr },
+        });
         self
     }
 
@@ -113,12 +122,21 @@ impl ProgramBuilder {
         self.stack.push(Vec::new());
         f(self, var);
         let body = Block::new(self.stack.pop().expect("builder stack underflow"));
-        self.push(Stmt::For { var, lo: lo.into(), hi: hi.into(), step, body });
+        self.push(Stmt::For {
+            var,
+            lo: lo.into(),
+            hi: hi.into(),
+            step,
+            body,
+        });
         self
     }
 
     fn push(&mut self, stmt: Stmt) {
-        self.stack.last_mut().expect("builder stack underflow").push(stmt);
+        self.stack
+            .last_mut()
+            .expect("builder stack underflow")
+            .push(stmt);
     }
 
     /// Finalizes the program.

@@ -49,7 +49,11 @@ pub struct TransferItem {
 impl TransferItem {
     /// An item covering uses over `region`.
     pub fn new(array: ArrayId, offset: Offset, region: Region) -> TransferItem {
-        TransferItem { array, offset, regions: vec![region] }
+        TransferItem {
+            array,
+            offset,
+            regions: vec![region],
+        }
     }
 }
 
@@ -79,7 +83,9 @@ impl Transfer {
 
     /// `true` if the transfer carries a slab of `array`.
     pub fn carries(&self, array: ArrayId, offset: Offset) -> bool {
-        self.items.iter().any(|it| it.array == array && it.offset == offset)
+        self.items
+            .iter()
+            .any(|it| it.array == array && it.offset == offset)
     }
 }
 
@@ -165,7 +171,10 @@ mod tests {
 
     #[test]
     fn call_kinds() {
-        assert_eq!(CallKind::QUAD, [CallKind::DR, CallKind::SR, CallKind::DN, CallKind::SV]);
+        assert_eq!(
+            CallKind::QUAD,
+            [CallKind::DR, CallKind::SR, CallKind::DN, CallKind::SV]
+        );
         assert!(CallKind::SR.is_source_side());
         assert!(CallKind::SV.is_source_side());
         assert!(!CallKind::DR.is_source_side());

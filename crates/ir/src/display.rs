@@ -34,22 +34,21 @@ pub fn to_source(p: &Program) -> String {
         };
         match s {
             Stmt::Assign { rhs, .. } => scan(rhs, &mut offsets),
-            Stmt::ScalarAssign { rhs: ScalarRhs::Reduce { expr, .. }, .. } => {
-                scan(expr, &mut offsets)
-            }
-            Stmt::ScalarAssign { rhs: ScalarRhs::Expr(e), .. } => scan(e, &mut offsets),
+            Stmt::ScalarAssign {
+                rhs: ScalarRhs::Reduce { expr, .. },
+                ..
+            } => scan(expr, &mut offsets),
+            Stmt::ScalarAssign {
+                rhs: ScalarRhs::Expr(e),
+                ..
+            } => scan(e, &mut offsets),
             _ => {}
         }
     });
     let dir_name = |o: &Offset| -> String {
-        o.compass_name().map(|n| n.to_string()).unwrap_or_else(|| {
-            format!(
-                "d{}_{}_{}",
-                comp(o.get(0)),
-                comp(o.get(1)),
-                comp(o.get(2))
-            )
-        })
+        o.compass_name()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("d{}_{}_{}", comp(o.get(0)), comp(o.get(1)), comp(o.get(2))))
     };
     for o in &offsets {
         let rank = p.max_rank();
@@ -126,8 +125,18 @@ fn write_source_block(
                 indent(out, depth);
                 out.push_str("}\n");
             }
-            Stmt::For { var, lo, hi, step, body } => {
-                let by = if *step == 1 { String::new() } else { " by -1".to_string() };
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let by = if *step == 1 {
+                    String::new()
+                } else {
+                    " by -1".to_string()
+                };
                 let _ = writeln!(
                     out,
                     "for {} := {} .. {}{by} {{",
@@ -218,7 +227,12 @@ fn write_stmt(out: &mut String, p: &Program, stmt: &Stmt, depth: usize) {
             let rhs = match rhs {
                 ScalarRhs::Expr(e) => expr_str(p, e),
                 ScalarRhs::Reduce { op, region, expr } => {
-                    format!("{} {} {}", op.symbol(), region_str(p, region), expr_str(p, expr))
+                    format!(
+                        "{} {} {}",
+                        op.symbol(),
+                        region_str(p, region),
+                        expr_str(p, expr)
+                    )
                 }
             };
             let _ = writeln!(out, "{} := {};", p.scalar(*lhs).name, rhs);
@@ -229,8 +243,18 @@ fn write_stmt(out: &mut String, p: &Program, stmt: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::For { var, lo, hi, step, body } => {
-            let by = if *step == 1 { String::new() } else { format!(" by {step}") };
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let by = if *step == 1 {
+                String::new()
+            } else {
+                format!(" by {step}")
+            };
             let _ = writeln!(
                 out,
                 "for {} := {} .. {}{by} {{",
@@ -249,7 +273,13 @@ fn write_stmt(out: &mut String, p: &Program, stmt: &Stmt, depth: usize) {
                 .iter()
                 .map(|it| format!("{}{}", p.array(it.array).name, it.offset))
                 .collect();
-            let _ = writeln!(out, "{}(t{}: {});", kind.name(), transfer.0, items.join(", "));
+            let _ = writeln!(
+                out,
+                "{}(t{}: {});",
+                kind.name(),
+                transfer.0,
+                items.join(", ")
+            );
         }
     }
 }
@@ -274,7 +304,12 @@ fn region_str(p: &Program, r: &Region) -> String {
         if d > 0 {
             s.push_str(", ");
         }
-        let _ = write!(s, "{}..{}", bound_str(p, &r.dims[d].lo), bound_str(p, &r.dims[d].hi));
+        let _ = write!(
+            s,
+            "{}..{}",
+            bound_str(p, &r.dims[d].lo),
+            bound_str(p, &r.dims[d].hi)
+        );
     }
     s.push(']');
     s
@@ -325,7 +360,12 @@ mod tests {
         let x = b.array("B", bounds);
         let e = b.scalar("err", 0.0);
         b.assign(r, a, Expr::at(x, compass::EAST) - Expr::local(x));
-        b.reduce(e, ReduceOp::Max, r, Expr::un(crate::expr::UnaryOp::Abs, Expr::local(a)));
+        b.reduce(
+            e,
+            ReduceOp::Max,
+            r,
+            Expr::un(crate::expr::UnaryOp::Abs, Expr::local(a)),
+        );
         b.repeat(2, |b| {
             b.assign(r, a, Expr::Const(0.5) * Expr::local(a));
         });

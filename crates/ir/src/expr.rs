@@ -136,15 +136,28 @@ pub enum Expr {
     ///
     /// A zero offset is a purely local read; a non-zero offset is the `@`
     /// operator and is the sole source of point-to-point communication.
-    Ref { array: ArrayId, offset: Offset },
-    Unary { op: UnaryOp, a: Box<Expr> },
-    Binary { op: BinOp, a: Box<Expr>, b: Box<Expr> },
+    Ref {
+        array: ArrayId,
+        offset: Offset,
+    },
+    Unary {
+        op: UnaryOp,
+        a: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        a: Box<Expr>,
+        b: Box<Expr>,
+    },
 }
 
 impl Expr {
     /// A local (unshifted) reference to `array`.
     pub fn local(array: ArrayId) -> Expr {
-        Expr::Ref { array, offset: Offset::ZERO }
+        Expr::Ref {
+            array,
+            offset: Offset::ZERO,
+        }
     }
 
     /// A shifted reference `array @ offset`.
@@ -153,7 +166,11 @@ impl Expr {
     }
 
     pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
-        Expr::Binary { op, a: Box::new(a), b: Box::new(b) }
+        Expr::Binary {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     pub fn un(op: UnaryOp, a: Expr) -> Expr {
@@ -224,7 +241,11 @@ pub enum ScalarRhs {
     /// on nearest-neighbor communication introduced by the shift operator"),
     /// so reductions are executed and timed but never counted as
     /// communications by the optimizer's metrics.
-    Reduce { op: ReduceOp, region: Region, expr: Expr },
+    Reduce {
+        op: ReduceOp,
+        region: Region,
+        expr: Expr,
+    },
 }
 
 #[cfg(test)]
@@ -264,7 +285,11 @@ mod tests {
         let a = ArrayId(0);
         let e = Expr::at(a, compass::EAST) - Expr::at(a, compass::WEST);
         match &e {
-            Expr::Binary { op: BinOp::Sub, a: l, b: r } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                a: l,
+                b: r,
+            } => {
                 assert_eq!(**l, Expr::at(ArrayId(0), compass::EAST));
                 assert_eq!(**r, Expr::at(ArrayId(0), compass::WEST));
             }

@@ -58,14 +58,20 @@ impl Program {
     /// Declares an array, returning its id.
     pub fn add_array(&mut self, name: impl Into<String>, rect: Rect) -> ArrayId {
         let id = ArrayId::from_index(self.arrays.len());
-        self.arrays.push(ArrayDecl { name: name.into(), rect });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            rect,
+        });
         id
     }
 
     /// Declares a scalar, returning its id.
     pub fn add_scalar(&mut self, name: impl Into<String>, init: f64) -> ScalarId {
         let id = ScalarId::from_index(self.scalars.len());
-        self.scalars.push(ScalarDecl { name: name.into(), init });
+        self.scalars.push(ScalarDecl {
+            name: name.into(),
+            init,
+        });
         id
     }
 

@@ -92,7 +92,11 @@ impl Rect {
             lo[d] = self.lo[d].max(other.lo[d]);
             hi[d] = self.hi[d].min(other.hi[d]);
         }
-        Rect { rank: self.rank, lo, hi }
+        Rect {
+            rank: self.rank,
+            lo,
+            hi,
+        }
     }
 
     /// The rectangle translated by `delta` (component-wise addition).
@@ -103,7 +107,11 @@ impl Rect {
             lo[d] += delta[d];
             hi[d] += delta[d];
         }
-        Rect { rank: self.rank, lo, hi }
+        Rect {
+            rank: self.rank,
+            lo,
+            hi,
+        }
     }
 
     /// The rectangle grown by `g` on every side of every real dimension —
@@ -115,7 +123,11 @@ impl Rect {
             lo[d] -= g;
             hi[d] += g;
         }
-        Rect { rank: self.rank, lo, hi }
+        Rect {
+            rank: self.rank,
+            lo,
+            hi,
+        }
     }
 
     /// Visits every index in row-major order (last dimension fastest).
@@ -208,7 +220,10 @@ pub struct DimRange {
 
 impl DimRange {
     pub fn new(lo: impl Into<AffineBound>, hi: impl Into<AffineBound>) -> DimRange {
-        DimRange { lo: lo.into(), hi: hi.into() }
+        DimRange {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
     }
 }
 
@@ -232,7 +247,10 @@ impl Region {
         for d in 0..MAX_RANK {
             dims[d] = DimRange::new(rect.lo[d], rect.hi[d]);
         }
-        Region { rank: rect.rank, dims }
+        Region {
+            rank: rect.rank,
+            dims,
+        }
     }
 
     /// A constant 2D region.
@@ -266,7 +284,11 @@ impl Region {
             lo[d] = self.dims[d].lo.eval(env);
             hi[d] = self.dims[d].hi.eval(env);
         }
-        Rect { rank: self.rank, lo, hi }
+        Rect {
+            rank: self.rank,
+            lo,
+            hi,
+        }
     }
 
     /// `true` when no bound references a loop variable.

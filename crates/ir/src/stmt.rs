@@ -65,7 +65,10 @@ pub enum Stmt {
     },
 
     /// An IRONMAN communication call inserted by the optimizer.
-    Comm { kind: CallKind, transfer: TransferId },
+    Comm {
+        kind: CallKind,
+        transfer: TransferId,
+    },
 }
 
 impl Stmt {
@@ -117,7 +120,10 @@ mod tests {
     #[test]
     fn boundary_classification() {
         assert!(!dummy_assign().is_block_boundary());
-        let rep = Stmt::Repeat { count: 3, body: Block::default() };
+        let rep = Stmt::Repeat {
+            count: 3,
+            body: Block::default(),
+        };
         assert!(rep.is_block_boundary());
         assert!(rep.is_source_stmt());
         let comm = Stmt::comm(CallKind::SR, TransferId(0));

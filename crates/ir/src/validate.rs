@@ -19,19 +19,34 @@ pub enum ValidateError {
     UnknownScalar(ScalarId),
     UnknownLoopVar(LoopVarId),
     /// A region's rank does not match the array it governs.
-    RankMismatch { array: String, region_rank: usize, array_rank: usize },
+    RankMismatch {
+        array: String,
+        region_rank: usize,
+        array_rank: usize,
+    },
     /// An offset has non-zero components beyond the array's rank.
-    OffsetRank { array: String, offset: String },
+    OffsetRank {
+        array: String,
+        offset: String,
+    },
     /// A region bound references a loop variable not bound at that point.
-    UnboundLoopVar { var: String },
+    UnboundLoopVar {
+        var: String,
+    },
     /// A `for` step other than +1 / -1.
     BadStep(i64),
     /// A `repeat` with zero iterations (almost certainly a mistake).
     ZeroTripRepeat,
     /// A scalar expression contains an array reference.
-    ArrayRefInScalarExpr { scalar: String },
+    ArrayRefInScalarExpr {
+        scalar: String,
+    },
     /// An offset exceeds the supported ghost width.
-    OffsetTooLarge { array: String, radius: u32, max: u32 },
+    OffsetTooLarge {
+        array: String,
+        radius: u32,
+        max: u32,
+    },
     /// A communication call names a transfer not in the transfer table.
     UnknownTransfer(crate::comm::TransferId),
 }
@@ -42,7 +57,11 @@ impl std::fmt::Display for ValidateError {
             ValidateError::UnknownArray(id) => write!(f, "unknown array {id:?}"),
             ValidateError::UnknownScalar(id) => write!(f, "unknown scalar {id:?}"),
             ValidateError::UnknownLoopVar(id) => write!(f, "unknown loop var {id:?}"),
-            ValidateError::RankMismatch { array, region_rank, array_rank } => write!(
+            ValidateError::RankMismatch {
+                array,
+                region_rank,
+                array_rank,
+            } => write!(
                 f,
                 "region rank {region_rank} does not match rank-{array_rank} array {array}"
             ),
@@ -55,10 +74,16 @@ impl std::fmt::Display for ValidateError {
             ValidateError::BadStep(s) => write!(f, "for-loop step must be ±1, got {s}"),
             ValidateError::ZeroTripRepeat => write!(f, "repeat with zero trip count"),
             ValidateError::ArrayRefInScalarExpr { scalar } => {
-                write!(f, "scalar assignment to {scalar} reads an array outside a reduction")
+                write!(
+                    f,
+                    "scalar assignment to {scalar} reads an array outside a reduction"
+                )
             }
             ValidateError::OffsetTooLarge { array, radius, max } => {
-                write!(f, "offset radius {radius} on array {array} exceeds supported maximum {max}")
+                write!(
+                    f,
+                    "offset radius {radius} on array {array} exceeds supported maximum {max}"
+                )
             }
             ValidateError::UnknownTransfer(id) => write!(f, "unknown transfer {id:?}"),
         }
@@ -135,7 +160,13 @@ fn check_block(
                 }
                 check_block(p, body, bound, errs);
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 if var.index() >= p.loop_vars.len() {
                     errs.push(ValidateError::UnknownLoopVar(*var));
                     continue;
@@ -172,17 +203,14 @@ fn loop_var_name(p: &Program, v: LoopVarId) -> String {
         .unwrap_or_else(|| format!("{v:?}"))
 }
 
-fn check_region(
-    p: &Program,
-    region: &Region,
-    bound: &[LoopVarId],
-    errs: &mut Vec<ValidateError>,
-) {
+fn check_region(p: &Program, region: &Region, bound: &[LoopVarId], errs: &mut Vec<ValidateError>) {
     for v in region.loop_vars() {
         if v.index() >= p.loop_vars.len() {
             errs.push(ValidateError::UnknownLoopVar(v));
         } else if !bound.contains(&v) {
-            errs.push(ValidateError::UnboundLoopVar { var: loop_var_name(p, v) });
+            errs.push(ValidateError::UnboundLoopVar {
+                var: loop_var_name(p, v),
+            });
         }
     }
 }
@@ -209,15 +237,16 @@ fn check_expr(p: &Program, e: &Expr, bound: &[LoopVarId], errs: &mut Vec<Validat
                 });
             }
         }
-        Expr::Scalar(s)
-            if s.index() >= p.scalars.len() => {
-                errs.push(ValidateError::UnknownScalar(*s));
-            }
+        Expr::Scalar(s) if s.index() >= p.scalars.len() => {
+            errs.push(ValidateError::UnknownScalar(*s));
+        }
         Expr::LoopVar(v) => {
             if v.index() >= p.loop_vars.len() {
                 errs.push(ValidateError::UnknownLoopVar(*v));
             } else if !bound.contains(v) {
-                errs.push(ValidateError::UnboundLoopVar { var: loop_var_name(p, *v) });
+                errs.push(ValidateError::UnboundLoopVar {
+                    var: loop_var_name(p, *v),
+                });
             }
         }
         _ => {}
@@ -289,7 +318,11 @@ mod tests {
         let mut b = ProgramBuilder::new("bad");
         let a = b.array("A", Rect::d2((1, 64), (1, 64)));
         let x = b.array("X", Rect::d2((1, 64), (1, 64)));
-        b.assign(Region::d2((1, 64), (1, 64)), a, Expr::at(x, Offset::d2(0, 9)));
+        b.assign(
+            Region::d2((1, 64), (1, 64)),
+            a,
+            Expr::at(x, Offset::d2(0, 9)),
+        );
         let errs = validate(&b.finish()).unwrap_err();
         assert!(matches!(errs[0], ValidateError::OffsetTooLarge { .. }));
     }
@@ -316,15 +349,23 @@ mod tests {
         let s = b.scalar("s", 0.0);
         b.scalar_assign(s, Expr::local(a));
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(matches!(errs[0], ValidateError::ArrayRefInScalarExpr { .. }));
+        assert!(matches!(
+            errs[0],
+            ValidateError::ArrayRefInScalarExpr { .. }
+        ));
     }
 
     #[test]
     fn catches_zero_trip_and_bad_step() {
         let mut p = valid_program();
-        p.body.0.push(Stmt::Repeat { count: 0, body: Block::default() });
+        p.body.0.push(Stmt::Repeat {
+            count: 0,
+            body: Block::default(),
+        });
         let errs = validate(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::ZeroTripRepeat)));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ZeroTripRepeat)));
 
         let mut p2 = Program::new("bad");
         let i = p2.add_loop_var("i");
@@ -341,7 +382,11 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = ValidateError::OffsetTooLarge { array: "A".into(), radius: 9, max: 4 };
+        let e = ValidateError::OffsetTooLarge {
+            array: "A".into(),
+            radius: 9,
+            max: 4,
+        };
         assert!(e.to_string().contains("radius 9"));
         let e2 = ValidateError::UnboundLoopVar { var: "i".into() };
         assert!(e2.to_string().contains('i'));

@@ -36,7 +36,13 @@ pub fn map_blocks(block: &Block, rewrite: &mut impl FnMut(Vec<Stmt>) -> Vec<Stmt
                 count: *count,
                 body: map_blocks(body, rewrite),
             },
-            Stmt::For { var, lo, hi, step, body } => Stmt::For {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => Stmt::For {
                 var: *var,
                 lo: *lo,
                 hi: *hi,
@@ -77,7 +83,11 @@ mod tests {
     fn walk_reports_depth() {
         let mut seen = Vec::new();
         walk_stmts(&prog_block(), &mut |s, d| {
-            if let Stmt::Assign { rhs: Expr::Const(c), .. } = s {
+            if let Stmt::Assign {
+                rhs: Expr::Const(c),
+                ..
+            } = s
+            {
                 seen.push((*c, d));
             }
         });

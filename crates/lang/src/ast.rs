@@ -81,20 +81,44 @@ pub enum IExpr {
 #[derive(Clone, PartialEq, Debug)]
 pub enum AStmt {
     /// `[R] A := expr;`
-    ArrayAssign { region: ARegion, lhs: String, rhs: AExpr, span: Span },
+    ArrayAssign {
+        region: ARegion,
+        lhs: String,
+        rhs: AExpr,
+        span: Span,
+    },
     /// `s := expr;` or `s := max<< [R] expr;`
-    ScalarAssign { lhs: String, rhs: AScalarRhs, span: Span },
+    ScalarAssign {
+        lhs: String,
+        rhs: AScalarRhs,
+        span: Span,
+    },
     /// `repeat n { ... }`
-    Repeat { count: IExpr, body: Vec<AStmt>, span: Span },
+    Repeat {
+        count: IExpr,
+        body: Vec<AStmt>,
+        span: Span,
+    },
     /// `for i := lo .. hi [by -1] { ... }`
-    For { var: String, lo: IExpr, hi: IExpr, down: bool, body: Vec<AStmt>, span: Span },
+    For {
+        var: String,
+        lo: IExpr,
+        hi: IExpr,
+        down: bool,
+        body: Vec<AStmt>,
+        span: Span,
+    },
 }
 
 /// Scalar right-hand sides.
 #[derive(Clone, PartialEq, Debug)]
 pub enum AScalarRhs {
     Expr(AExpr),
-    Reduce { op: String, region: ARegion, expr: AExpr },
+    Reduce {
+        op: String,
+        region: ARegion,
+        expr: AExpr,
+    },
 }
 
 /// Array-valued expressions.

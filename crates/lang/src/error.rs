@@ -22,7 +22,10 @@ pub struct LangError {
 
 impl LangError {
     pub fn new(span: Span, message: impl Into<String>) -> LangError {
-        LangError { span, message: message.into() }
+        LangError {
+            span,
+            message: message.into(),
+        }
     }
 }
 

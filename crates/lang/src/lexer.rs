@@ -10,24 +10,24 @@ pub enum Tok {
     Int(i64),
     Float(f64),
     // punctuation & operators
-    Semi,       // ;
-    Comma,      // ,
-    Colon,      // :
-    Assign,     // :=
-    Eq,         // =
-    LBracket,   // [
-    RBracket,   // ]
-    LBrace,     // {
-    RBrace,     // }
-    LParen,     // (
-    RParen,     // )
-    DotDot,     // ..
-    At,         // @
-    Plus,       // +
-    Minus,      // -
-    Star,       // *
-    Slash,      // /
-    Reduce,     // <<
+    Semi,     // ;
+    Comma,    // ,
+    Colon,    // :
+    Assign,   // :=
+    Eq,       // =
+    LBracket, // [
+    RBracket, // ]
+    LBrace,   // {
+    RBrace,   // }
+    LParen,   // (
+    RParen,   // )
+    DotDot,   // ..
+    At,       // @
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Reduce,   // <<
     Eof,
 }
 
@@ -91,7 +91,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             '=' => push1(&mut out, Tok::Eq, start, &mut i, &mut col),
             ':' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { tok: Tok::Assign, span: start });
+                    out.push(Token {
+                        tok: Tok::Assign,
+                        span: start,
+                    });
                     i += 2;
                     col += 2;
                 } else {
@@ -100,7 +103,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             '.' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
-                    out.push(Token { tok: Tok::DotDot, span: start });
+                    out.push(Token {
+                        tok: Tok::DotDot,
+                        span: start,
+                    });
                     i += 2;
                     col += 2;
                 } else {
@@ -109,7 +115,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
-                    out.push(Token { tok: Tok::Reduce, span: start });
+                    out.push(Token {
+                        tok: Tok::Reduce,
+                        span: start,
+                    });
                     i += 2;
                     col += 2;
                 } else {
@@ -146,9 +155,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 let text = &src[s..i];
                 col += (i - s) as u32;
                 let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| LangError::new(start, "bad float"))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| LangError::new(start, "bad float"))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| LangError::new(start, "bad integer"))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| LangError::new(start, "bad integer"))?,
+                    )
                 };
                 out.push(Token { tok, span: start });
             }
@@ -160,14 +175,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                 }
                 col += (i - s) as u32;
-                out.push(Token { tok: Tok::Ident(src[s..i].to_string()), span: start });
+                out.push(Token {
+                    tok: Tok::Ident(src[s..i].to_string()),
+                    span: start,
+                });
             }
             other => {
-                return Err(LangError::new(start, format!("unexpected character '{other}'")));
+                return Err(LangError::new(
+                    start,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, span: span!() });
+    out.push(Token {
+        tok: Tok::Eof,
+        span: span!(),
+    });
     Ok(out)
 }
 
@@ -212,7 +236,10 @@ mod tests {
 
     #[test]
     fn ranges_are_not_floats() {
-        assert_eq!(toks("1..4"), vec![Tok::Int(1), Tok::DotDot, Tok::Int(4), Tok::Eof]);
+        assert_eq!(
+            toks("1..4"),
+            vec![Tok::Int(1), Tok::DotDot, Tok::Int(4), Tok::Eof]
+        );
     }
 
     #[test]
@@ -231,12 +258,15 @@ mod tests {
 
     #[test]
     fn minus_vs_comment() {
-        assert_eq!(toks("a - b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Minus,
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
         // Double minus is a comment.
         assert_eq!(toks("a --b"), vec![Tok::Ident("a".into()), Tok::Eof]);
     }

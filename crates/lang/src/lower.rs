@@ -5,8 +5,8 @@ use crate::ast::*;
 use crate::error::{LangError, Span};
 use crate::parser::parse;
 use commopt_ir::{
-    AffineBound, ArrayId, BinOp, DimRange, Expr, LoopVarId, Offset, Program, ReduceOp,
-    Region, ScalarId, Stmt, UnaryOp, MAX_RANK,
+    AffineBound, ArrayId, BinOp, DimRange, Expr, LoopVarId, Offset, Program, ReduceOp, Region,
+    ScalarId, Stmt, UnaryOp, MAX_RANK,
 };
 use std::collections::HashMap;
 
@@ -24,7 +24,10 @@ pub struct Frontend<'s> {
 
 impl<'s> Frontend<'s> {
     pub fn new(source: &'s str) -> Frontend<'s> {
-        Frontend { source, overrides: HashMap::new() }
+        Frontend {
+            source,
+            overrides: HashMap::new(),
+        }
     }
 
     /// Overrides a `config` constant (e.g. problem size or trip count).
@@ -57,7 +60,10 @@ impl IVal {
     }
 
     fn bound(&self) -> AffineBound {
-        AffineBound { var: self.var, c: self.c }
+        AffineBound {
+            var: self.var,
+            c: self.c,
+        }
     }
 }
 
@@ -78,7 +84,10 @@ impl Lowerer {
         for c in &file.configs {
             let v = overrides.get(&c.name).copied().unwrap_or(c.value);
             if configs.insert(c.name.clone(), v).is_some() {
-                return Err(LangError::new(c.span, format!("duplicate config {}", c.name)));
+                return Err(LangError::new(
+                    c.span,
+                    format!("duplicate config {}", c.name),
+                ));
             }
         }
         for name in overrides.keys() {
@@ -107,20 +116,33 @@ impl Lowerer {
                 return Err(LangError::new(r.span, "top-level regions must be constant"));
             }
             if self.regions.insert(r.name.clone(), region).is_some() {
-                return Err(LangError::new(r.span, format!("duplicate region {}", r.name)));
+                return Err(LangError::new(
+                    r.span,
+                    format!("duplicate region {}", r.name),
+                ));
             }
         }
         for d in &file.directions {
             if d.components.len() > MAX_RANK {
-                return Err(LangError::new(d.span, "directions support at most 3 dimensions"));
+                return Err(LangError::new(
+                    d.span,
+                    "directions support at most 3 dimensions",
+                ));
             }
             let mut o = [0i32; MAX_RANK];
             for (i, &c) in d.components.iter().enumerate() {
                 o[i] = i32::try_from(c)
                     .map_err(|_| LangError::new(d.span, "direction component out of range"))?;
             }
-            if self.directions.insert(d.name.clone(), Offset::new(o)).is_some() {
-                return Err(LangError::new(d.span, format!("duplicate direction {}", d.name)));
+            if self
+                .directions
+                .insert(d.name.clone(), Offset::new(o))
+                .is_some()
+            {
+                return Err(LangError::new(
+                    d.span,
+                    format!("duplicate direction {}", d.name),
+                ));
             }
         }
         for v in &file.vars {
@@ -139,7 +161,10 @@ impl Lowerer {
         }
         for s in &file.scalars {
             if self.scalars.contains_key(&s.name) {
-                return Err(LangError::new(s.span, format!("duplicate scalar {}", s.name)));
+                return Err(LangError::new(
+                    s.span,
+                    format!("duplicate scalar {}", s.name),
+                ));
             }
             let id = self.program.add_scalar(s.name.clone(), s.init);
             self.scalars.insert(s.name.clone(), id);
@@ -153,7 +178,10 @@ impl Lowerer {
                 Span::default(),
                 format!(
                     "lowered program failed validation: {}",
-                    errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+                    errs.iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
                 ),
             )
         })?;
@@ -170,7 +198,12 @@ impl Lowerer {
 
     fn lower_stmt(&mut self, stmt: &AStmt) -> Result<Stmt, LangError> {
         match stmt {
-            AStmt::ArrayAssign { region, lhs, rhs, span } => {
+            AStmt::ArrayAssign {
+                region,
+                lhs,
+                rhs,
+                span,
+            } => {
                 let region = self.lower_region(region)?;
                 let lhs = *self
                     .arrays
@@ -213,19 +246,38 @@ impl Lowerer {
                     return Err(LangError::new(*span, "repeat count must be positive"));
                 }
                 let body = self.lower_block(body)?;
-                Ok(Stmt::Repeat { count: count as u64, body })
+                Ok(Stmt::Repeat {
+                    count: count as u64,
+                    body,
+                })
             }
-            AStmt::For { var, lo, hi, down, body, span } => {
+            AStmt::For {
+                var,
+                lo,
+                hi,
+                down,
+                body,
+                span,
+            } => {
                 let lo = self.ieval(lo)?.bound();
                 let hi = self.ieval(hi)?.bound();
                 if self.loop_scope.iter().any(|(n, _)| n == var) {
-                    return Err(LangError::new(*span, format!("loop variable {var} shadowed")));
+                    return Err(LangError::new(
+                        *span,
+                        format!("loop variable {var} shadowed"),
+                    ));
                 }
                 let id = self.program.add_loop_var(var.clone());
                 self.loop_scope.push((var.clone(), id));
                 let body = self.lower_block(body)?;
                 self.loop_scope.pop();
-                Ok(Stmt::For { var: id, lo, hi, step: if *down { -1 } else { 1 }, body })
+                Ok(Stmt::For {
+                    var: id,
+                    lo,
+                    hi,
+                    step: if *down { -1 } else { 1 },
+                    body,
+                })
             }
         }
     }
@@ -239,14 +291,20 @@ impl Lowerer {
                 .ok_or_else(|| LangError::new(*span, format!("unknown region {name}"))),
             ARegion::Literal(ranges, span) => {
                 if ranges.len() > MAX_RANK {
-                    return Err(LangError::new(*span, "regions support at most 3 dimensions"));
+                    return Err(LangError::new(
+                        *span,
+                        "regions support at most 3 dimensions",
+                    ));
                 }
                 let mut dims = [DimRange::new(0, 0); MAX_RANK];
                 for (d, r) in ranges.iter().enumerate() {
                     dims[d] = match r {
                         ARange::Single(e) => {
                             let v = self.ieval(e)?;
-                            DimRange { lo: v.bound(), hi: v.bound() }
+                            DimRange {
+                                lo: v.bound(),
+                                hi: v.bound(),
+                            }
                         }
                         ARange::Range(lo, hi) => DimRange {
                             lo: self.ieval(lo)?.bound(),
@@ -265,12 +323,18 @@ impl Lowerer {
             IExpr::Int(v) => Ok(IVal { var: None, c: *v }),
             IExpr::Name(name, span) => {
                 if let Some((_, id)) = self.loop_scope.iter().rev().find(|(n, _)| n == name) {
-                    return Ok(IVal { var: Some(*id), c: 0 });
+                    return Ok(IVal {
+                        var: Some(*id),
+                        c: 0,
+                    });
                 }
                 if let Some(v) = self.configs.get(name) {
                     return Ok(IVal { var: None, c: *v });
                 }
-                Err(LangError::new(*span, format!("unknown integer name {name}")))
+                Err(LangError::new(
+                    *span,
+                    format!("unknown integer name {name}"),
+                ))
             }
             IExpr::Neg(a) => {
                 let a = self.ieval(a)?;
@@ -287,8 +351,14 @@ impl Lowerer {
                 let b = self.ieval(b)?;
                 match op {
                     '+' => match (a.var, b.var) {
-                        (v, None) => Ok(IVal { var: v, c: a.c + b.c }),
-                        (None, v) => Ok(IVal { var: v, c: a.c + b.c }),
+                        (v, None) => Ok(IVal {
+                            var: v,
+                            c: a.c + b.c,
+                        }),
+                        (None, v) => Ok(IVal {
+                            var: v,
+                            c: a.c + b.c,
+                        }),
                         _ => Err(LangError::new(
                             Span::default(),
                             "bounds may reference at most one loop variable",
@@ -301,7 +371,10 @@ impl Lowerer {
                                 "cannot subtract a loop variable in a bound",
                             ));
                         }
-                        Ok(IVal { var: a.var, c: a.c - b.c })
+                        Ok(IVal {
+                            var: a.var,
+                            c: a.c - b.c,
+                        })
                     }
                     '*' | '/' => {
                         if a.var.is_some() || b.var.is_some() {
@@ -364,8 +437,16 @@ impl Lowerer {
                                 format!("{name} takes two arguments"),
                             ));
                         }
-                        let op = if name == "min" { BinOp::Min } else { BinOp::Max };
-                        Ok(Expr::bin(op, self.lower_expr(&args[0])?, self.lower_expr(&args[1])?))
+                        let op = if name == "min" {
+                            BinOp::Min
+                        } else {
+                            BinOp::Max
+                        };
+                        Ok(Expr::bin(
+                            op,
+                            self.lower_expr(&args[0])?,
+                            self.lower_expr(&args[1])?,
+                        ))
                     }
                     other => Err(LangError::new(*span, format!("unknown function {other}"))),
                 }
@@ -455,7 +536,11 @@ end
 
     #[test]
     fn config_overrides_apply() {
-        let p = Frontend::new(JACOBI).with_config("n", 16).with_config("iters", 2).compile().unwrap();
+        let p = Frontend::new(JACOBI)
+            .with_config("n", 16)
+            .with_config("iters", 2)
+            .compile()
+            .unwrap();
         assert_eq!(p.arrays[0].rect, Rect::d2((1, 16), (1, 16)));
         match &p.body.0[1] {
             Stmt::Repeat { count, .. } => assert_eq!(*count, 2),
@@ -465,7 +550,10 @@ end
 
     #[test]
     fn override_of_unknown_config_errors() {
-        let err = Frontend::new(JACOBI).with_config("m", 1).compile().unwrap_err();
+        let err = Frontend::new(JACOBI)
+            .with_config("m", 1)
+            .compile()
+            .unwrap_err();
         assert!(err.to_string().contains("unknown config"));
     }
 
@@ -532,7 +620,8 @@ end
 
     #[test]
     fn configs_usable_in_float_context() {
-        let src = "program p; config n = 4; var A : [1..n,1..n];\nbegin [1..n,1..n] A := 1.0 / n; end";
+        let src =
+            "program p; config n = 4; var A : [1..n,1..n];\nbegin [1..n,1..n] A := 1.0 / n; end";
         let p = compile(src).unwrap();
         match &p.body.0[0] {
             Stmt::Assign { rhs, .. } => {

@@ -121,7 +121,11 @@ impl Parser {
                 }
                 self.expect(Tok::RBracket, "']'")?;
                 self.expect(Tok::Semi, "';'")?;
-                file.directions.push(DirectionDecl { name, components, span });
+                file.directions.push(DirectionDecl {
+                    name,
+                    components,
+                    span,
+                });
             } else if self.kw("var") {
                 let mut names = vec![self.ident("variable name")?];
                 while self.eat(&Tok::Comma) {
@@ -132,7 +136,11 @@ impl Parser {
                 // optional element type
                 let _ = self.kw("double");
                 self.expect(Tok::Semi, "';'")?;
-                file.vars.push(VarDecl { names, bounds, span });
+                file.vars.push(VarDecl {
+                    names,
+                    bounds,
+                    span,
+                });
             } else if self.kw("scalar") {
                 let name = self.ident("scalar name")?;
                 self.expect(Tok::Eq, "'='")?;
@@ -300,7 +308,14 @@ impl Parser {
                 }
             }
             let body = self.block()?;
-            return Ok(AStmt::For { var, lo, hi, down, body, span });
+            return Ok(AStmt::For {
+                var,
+                lo,
+                hi,
+                down,
+                body,
+                span,
+            });
         }
         if self.peek() == &Tok::LBracket {
             let region = self.region_ref()?;
@@ -308,7 +323,12 @@ impl Parser {
             self.expect(Tok::Assign, "':='")?;
             let rhs = self.aexpr()?;
             self.expect(Tok::Semi, "';'")?;
-            return Ok(AStmt::ArrayAssign { region, lhs, rhs, span });
+            return Ok(AStmt::ArrayAssign {
+                region,
+                lhs,
+                rhs,
+                span,
+            });
         }
         // Scalar assignment, possibly a reduction.
         let lhs = self.ident("statement")?;
@@ -330,7 +350,11 @@ impl Parser {
             self.expect(Tok::Reduce, "'<<'")?;
             let region = self.region_ref()?;
             let expr = self.aexpr()?;
-            AScalarRhs::Reduce { op: op.to_string(), region, expr }
+            AScalarRhs::Reduce {
+                op: op.to_string(),
+                region,
+                expr,
+            }
         } else {
             AScalarRhs::Expr(self.aexpr()?)
         };
@@ -469,12 +493,18 @@ end
     fn named_vs_literal_region_prefix() {
         let f = parse(SMALL).unwrap();
         match &f.body[0] {
-            AStmt::ArrayAssign { region: ARegion::Named(n, _), .. } => assert_eq!(n, "R"),
+            AStmt::ArrayAssign {
+                region: ARegion::Named(n, _),
+                ..
+            } => assert_eq!(n, "R"),
             other => panic!("{other:?}"),
         }
         match &f.body[1] {
             AStmt::Repeat { body, .. } => match &body[0] {
-                AStmt::ArrayAssign { region: ARegion::Literal(rs, _), .. } => {
+                AStmt::ArrayAssign {
+                    region: ARegion::Literal(rs, _),
+                    ..
+                } => {
                     assert_eq!(rs.len(), 2)
                 }
                 other => panic!("{other:?}"),
@@ -491,7 +521,10 @@ end
             );
             let f = parse(&src).unwrap();
             match &f.body[0] {
-                AStmt::ScalarAssign { rhs: AScalarRhs::Reduce { op, .. }, .. } => {
+                AStmt::ScalarAssign {
+                    rhs: AScalarRhs::Reduce { op, .. },
+                    ..
+                } => {
                     assert_eq!(op, ast_op)
                 }
                 other => panic!("{other:?}"),
@@ -501,10 +534,14 @@ end
 
     #[test]
     fn precedence_builds_expected_tree() {
-        let src = "program p; region R = [1..4,1..4]; var A : [R];\nbegin [R] A := 1.0 + 2.0 * 3.0; end";
+        let src =
+            "program p; region R = [1..4,1..4]; var A : [R];\nbegin [R] A := 1.0 + 2.0 * 3.0; end";
         let f = parse(src).unwrap();
         match &f.body[0] {
-            AStmt::ArrayAssign { rhs: AExpr::Bin('+', _, r), .. } => {
+            AStmt::ArrayAssign {
+                rhs: AExpr::Bin('+', _, r),
+                ..
+            } => {
                 assert!(matches!(**r, AExpr::Bin('*', _, _)));
             }
             other => panic!("{other:?}"),
@@ -531,7 +568,10 @@ end
             "program p; region R = [1..4,1..4]; var A, B : [R];\nbegin [R] A := max(A, B) + min(A, 2.0); end";
         let f = parse(src).unwrap();
         match &f.body[0] {
-            AStmt::ArrayAssign { rhs: AExpr::Bin('+', l, _), .. } => {
+            AStmt::ArrayAssign {
+                rhs: AExpr::Bin('+', l, _),
+                ..
+            } => {
                 assert!(matches!(&**l, AExpr::Call(n, args, _) if n == "max" && args.len() == 2));
             }
             other => panic!("{other:?}"),

@@ -26,7 +26,10 @@ fn benchmark_suite_round_trips() {
         assert_equivalent(&b.program_with(16, 2), b.name);
         assert_equivalent(&b.program(), b.name);
     }
-    assert_equivalent(&compile(commopt_benchmarks::jacobi_source()).unwrap(), "jacobi");
+    assert_equivalent(
+        &compile(commopt_benchmarks::jacobi_source()).unwrap(),
+        "jacobi",
+    );
 }
 
 #[test]

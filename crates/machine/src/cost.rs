@@ -58,7 +58,13 @@ impl CommCosts {
     /// transmission itself is fully overlapped — the quantity plotted in
     /// the paper's Figure 6 (sender CPU + receiver CPU, plus any fixed
     /// synchronization both sides pay).
-    pub fn exposed_overhead_us(&self, bytes: u64, sync_calls: u32, wait_calls: u32, posts: u32) -> f64 {
+    pub fn exposed_overhead_us(
+        &self,
+        bytes: u64,
+        sync_calls: u32,
+        wait_calls: u32,
+        posts: u32,
+    ) -> f64 {
         self.send_cpu_us(bytes)
             + self.recv_cpu_us(bytes)
             + f64::from(sync_calls) * (self.sync_us + self.sync_call_us)

@@ -44,11 +44,20 @@ impl BlockDist {
         let mut lo = self.bounds.lo;
         let mut hi = self.bounds.hi;
         for d in 0..DIST_DIMS.min(self.bounds.rank) {
-            let (l, h) = Self::split(self.bounds.lo[d], self.bounds.hi[d], c[d], self.grid.dims[d]);
+            let (l, h) = Self::split(
+                self.bounds.lo[d],
+                self.bounds.hi[d],
+                c[d],
+                self.grid.dims[d],
+            );
             lo[d] = l;
             hi[d] = h;
         }
-        Rect { rank: self.bounds.rank, lo, hi }
+        Rect {
+            rank: self.bounds.rank,
+            lo,
+            hi,
+        }
     }
 
     /// The processor owning global index `idx`.
@@ -56,7 +65,11 @@ impl BlockDist {
     /// # Panics
     /// Panics when `idx` lies outside the distributed bounds.
     pub fn owner_of(&self, idx: [i64; MAX_RANK]) -> ProcId {
-        assert!(self.bounds.contains(idx), "index {idx:?} outside {:?}", self.bounds);
+        assert!(
+            self.bounds.contains(idx),
+            "index {idx:?} outside {:?}",
+            self.bounds
+        );
         let mut c = [0usize; DIST_DIMS];
         for d in 0..DIST_DIMS.min(self.bounds.rank) {
             // Find the block containing idx[d] along dimension d.
@@ -202,7 +215,7 @@ mod tests {
         let slabs = d.ghost_slabs(0, compass::SE);
         let total: u64 = slabs.iter().map(Rect::count).sum();
         assert_eq!(total, 4 + 3); // strip of 4 + strip of 3 (corner included once)
-        // All slabs disjoint from owned and inside bounds.
+                                  // All slabs disjoint from owned and inside bounds.
         for s in &slabs {
             assert!(s.intersect(&d.owned(0)).is_empty());
         }

@@ -153,7 +153,10 @@ impl MachineSpec {
         flop_us: f64,
         libraries: Vec<(Library, CommCosts)>,
     ) -> MachineSpec {
-        assert!(!libraries.is_empty(), "a machine needs at least one library");
+        assert!(
+            !libraries.is_empty(),
+            "a machine needs at least one library"
+        );
         MachineSpec {
             name,
             clock_mhz,
@@ -215,7 +218,10 @@ mod tests {
     fn library_availability_matches_figure3() {
         let p = MachineSpec::paragon();
         let libs: Vec<Library> = p.libraries().collect();
-        assert_eq!(libs, vec![Library::NxSync, Library::NxAsync, Library::NxCallback]);
+        assert_eq!(
+            libs,
+            vec![Library::NxSync, Library::NxAsync, Library::NxCallback]
+        );
         let t = MachineSpec::t3d();
         let libs: Vec<Library> = t.libraries().collect();
         assert_eq!(libs, vec![Library::Pvm, Library::Shmem]);
@@ -252,7 +258,10 @@ mod tests {
         let csend = p.costs(Library::NxSync).exposed_overhead_us(b, 0, 0, 0);
         let isend = p.costs(Library::NxAsync).exposed_overhead_us(b, 0, 2, 1);
         let hsend = p.costs(Library::NxCallback).exposed_overhead_us(b, 0, 2, 1);
-        assert!(isend >= csend * 0.95, "async should not beat sync: {isend} vs {csend}");
+        assert!(
+            isend >= csend * 0.95,
+            "async should not beat sync: {isend} vs {csend}"
+        );
         assert!(hsend > csend, "callbacks are heavier: {hsend} vs {csend}");
 
         let t = MachineSpec::t3d();

@@ -1,91 +1,97 @@
-//! Property tests for the processor grid and block distribution: the
-//! invariants every executor relies on.
+//! Randomized tests for the processor grid and block distribution: the
+//! invariants every executor relies on, checked over seeded random grids,
+//! bounds, and offsets (commopt-testkit; no external dependencies).
 
 use commopt_ir::{Offset, Rect};
 use commopt_machine::{BlockDist, ProcGrid};
-use proptest::prelude::*;
+use commopt_testkit::{cases, Rng};
 
-fn arb_grid() -> impl Strategy<Value = ProcGrid> {
-    (1usize..=6, 1usize..=6).prop_map(|(r, c)| ProcGrid::new(r, c))
+fn arb_grid(rng: &mut Rng) -> ProcGrid {
+    ProcGrid::new(rng.usize(1, 6), rng.usize(1, 6))
 }
 
-fn arb_bounds() -> impl Strategy<Value = Rect> {
+fn arb_bounds(rng: &mut Rng) -> Rect {
     // Possibly offset-based lower bounds, rank 2 or 3.
-    (1i64..=3, 6i64..=20, 6i64..=20, prop::bool::ANY, 1i64..=8).prop_map(
-        |(lo, n0, n1, rank3, n2)| {
-            if rank3 {
-                Rect::d3((lo, lo + n0 - 1), (lo, lo + n1 - 1), (1, n2))
-            } else {
-                Rect::d2((lo, lo + n0 - 1), (lo, lo + n1 - 1))
-            }
-        },
-    )
+    let lo = rng.i64(1, 3);
+    let n0 = rng.i64(6, 20);
+    let n1 = rng.i64(6, 20);
+    if rng.bool() {
+        Rect::d3((lo, lo + n0 - 1), (lo, lo + n1 - 1), (1, rng.i64(1, 8)))
+    } else {
+        Rect::d2((lo, lo + n0 - 1), (lo, lo + n1 - 1))
+    }
 }
 
-fn arb_offset() -> impl Strategy<Value = Offset> {
-    (-2i32..=2, -2i32..=2).prop_map(|(a, b)| Offset::d2(a, b))
+fn arb_offset(rng: &mut Rng) -> Offset {
+    Offset::d2(rng.i32(-2, 2), rng.i32(-2, 2))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn blocks_partition_the_index_space(grid in arb_grid(), bounds in arb_bounds()) {
+#[test]
+fn blocks_partition_the_index_space() {
+    cases(256, |rng| {
+        let grid = arb_grid(rng);
+        let bounds = arb_bounds(rng);
         let d = BlockDist::new(grid, bounds);
         // Coverage: total owned count equals the space.
         let total: u64 = grid.procs().map(|p| d.owned(p).count()).sum();
-        prop_assert_eq!(total, bounds.count());
+        assert_eq!(total, bounds.count());
         // Disjointness: every index has exactly one owner, and owner_of
         // inverts owned.
         for p in grid.procs() {
             let o = d.owned(p);
             o.for_each(|idx| assert_eq!(d.owner_of(idx), p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn block_sizes_are_balanced(grid in arb_grid(), bounds in arb_bounds()) {
+#[test]
+fn block_sizes_are_balanced() {
+    cases(256, |rng| {
         // Max and min non-empty block extents differ by at most 1 per dim.
+        let grid = arb_grid(rng);
+        let bounds = arb_bounds(rng);
         let d = BlockDist::new(grid, bounds);
         for dim in 0..2usize.min(bounds.rank) {
             let mut extents: Vec<i64> = grid.procs().map(|p| d.owned(p).extent(dim)).collect();
             extents.sort();
             extents.dedup();
-            prop_assert!(extents.len() <= 2, "{extents:?}");
+            assert!(extents.len() <= 2, "{extents:?}");
             if extents.len() == 2 {
-                prop_assert_eq!(extents[1] - extents[0], 1);
+                assert_eq!(extents[1] - extents[0], 1);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ghost_slabs_are_outside_owned_and_inside_bounds(
-        grid in arb_grid(),
-        bounds in arb_bounds(),
-        offset in arb_offset(),
-    ) {
+#[test]
+fn ghost_slabs_are_outside_owned_and_inside_bounds() {
+    cases(256, |rng| {
+        let grid = arb_grid(rng);
+        let bounds = arb_bounds(rng);
+        let offset = arb_offset(rng);
         let d = BlockDist::new(grid, bounds);
         for p in grid.procs() {
             let owned = d.owned(p);
             for slab in d.ghost_slabs(p, offset) {
-                prop_assert!(slab.intersect(&owned).is_empty());
-                prop_assert_eq!(slab.intersect(&bounds), slab);
+                assert!(slab.intersect(&owned).is_empty());
+                assert_eq!(slab.intersect(&bounds), slab);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ghost_volume_conservation(
-        grid in arb_grid(),
-        bounds in arb_bounds(),
-        offset in arb_offset(),
-    ) {
+#[test]
+fn ghost_volume_conservation() {
+    cases(256, |rng| {
         // Everything received by readers is owned by someone else; zero
         // offset receives nothing.
+        let grid = arb_grid(rng);
+        let bounds = arb_bounds(rng);
+        let offset = arb_offset(rng);
         let d = BlockDist::new(grid, bounds);
         if offset.is_zero() {
             for p in grid.procs() {
-                prop_assert_eq!(d.ghost_elems(p, offset), 0);
+                assert_eq!(d.ghost_elems(p, offset), 0);
             }
         } else {
             for p in grid.procs() {
@@ -94,26 +100,31 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn neighbor_relation_is_symmetric(grid in arb_grid()) {
+#[test]
+fn neighbor_relation_is_symmetric() {
+    cases(64, |rng| {
+        let grid = arb_grid(rng);
         for p in grid.procs() {
             for dr in -1i32..=1 {
                 for dc in -1i32..=1 {
                     if let Some(q) = grid.neighbor(p, [dr, dc]) {
-                        prop_assert_eq!(grid.neighbor(q, [-dr, -dc]), Some(p));
+                        assert_eq!(grid.neighbor(q, [-dr, -dc]), Some(p));
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn square_grids_use_all_processors(n in 1usize..=64) {
+#[test]
+fn square_grids_use_all_processors() {
+    for n in 1usize..=64 {
         let g = ProcGrid::square(n);
-        prop_assert_eq!(g.len(), n);
+        assert_eq!(g.len(), n);
         // As square as the factorization allows.
-        prop_assert!(g.dims[0] <= g.dims[1]);
+        assert!(g.dims[0] <= g.dims[1]);
     }
 }

@@ -23,12 +23,20 @@ impl Block {
             extents[d] = rect.extent(d).max(0) as usize;
         }
         let len = extents.iter().product();
-        Block { rect, extents, data: vec![fill; len] }
+        Block {
+            rect,
+            extents,
+            data: vec![fill; len],
+        }
     }
 
     #[inline]
     fn linear(&self, idx: [i64; MAX_RANK]) -> usize {
-        debug_assert!(self.rect.contains(idx), "index {idx:?} outside block {:?}", self.rect);
+        debug_assert!(
+            self.rect.contains(idx),
+            "index {idx:?} outside block {:?}",
+            self.rect
+        );
         let o0 = (idx[0] - self.rect.lo[0]) as usize;
         let o1 = (idx[1] - self.rect.lo[1]) as usize;
         let o2 = (idx[2] - self.rect.lo[2]) as usize;
@@ -98,7 +106,11 @@ impl DistArray {
                 b
             })
             .collect();
-        DistArray { dist, ghost, blocks }
+        DistArray {
+            dist,
+            ghost,
+            blocks,
+        }
     }
 
     /// The block of processor `p`.

@@ -29,7 +29,8 @@
 
 use crate::darray::{Block, DistArray};
 use crate::eval::{eval_run, BlockSource, BufPool, EvalCtx};
-use crate::metrics::SimResult;
+use crate::metrics::{ProcBreakdown, SimResult, TransferStats};
+use crate::trace::{SpanKind, TraceEvent, TraceHandle, TraceSink};
 use commopt_ir::analysis::expr_flops;
 use commopt_ir::{
     CallKind, Expr, LoopEnv, Program, Rect, Region, ScalarRhs, Stmt, TransferId, MAX_RANK,
@@ -47,17 +48,40 @@ pub struct SimConfig {
     /// `true`: compute real numerics on distributed blocks (slower);
     /// `false`: timing and counts only.
     pub compute_data: bool,
+    /// Optional event sink: when set, the simulator records one
+    /// [`TraceEvent`] per processor for every simulated span. `None` (the
+    /// default) records nothing and changes no behavior — traced and
+    /// untraced runs produce identical [`SimResult`]s.
+    pub trace: Option<TraceHandle>,
 }
 
 impl SimConfig {
     /// Timing-only configuration.
     pub fn timing(machine: MachineSpec, library: Library, nprocs: usize) -> SimConfig {
-        SimConfig { machine, library, nprocs, compute_data: false }
+        SimConfig {
+            machine,
+            library,
+            nprocs,
+            compute_data: false,
+            trace: None,
+        }
     }
 
     /// Full configuration, including distributed numerics.
     pub fn full(machine: MachineSpec, library: Library, nprocs: usize) -> SimConfig {
-        SimConfig { machine, library, nprocs, compute_data: true }
+        SimConfig {
+            machine,
+            library,
+            nprocs,
+            compute_data: true,
+            trace: None,
+        }
+    }
+
+    /// Installs a trace sink (see [`crate::trace`]).
+    pub fn with_trace(mut self, sink: impl TraceSink + 'static) -> SimConfig {
+        self.trace = Some(TraceHandle::new(sink));
+        self
     }
 }
 
@@ -137,6 +161,14 @@ pub struct Simulator<'p> {
     comm_us: f64,
     compute_us: f64,
     reductions: u64,
+    /// Per-proc time breakdown, accumulated in µs (converted to seconds
+    /// in the result).
+    cats: Vec<ProcBreakdown>,
+    /// Per-transfer aggregate stats (`wait_s` accumulated in µs here).
+    xfer: Vec<TransferStats>,
+    /// Scratch: bytes each proc moved during the current comm call, for
+    /// trace events.
+    span_bytes: Vec<u64>,
 }
 
 impl<'p> Simulator<'p> {
@@ -183,6 +215,9 @@ impl<'p> Simulator<'p> {
             comm_us: 0.0,
             compute_us: 0.0,
             reductions: 0,
+            cats: vec![ProcBreakdown::default(); n],
+            xfer: vec![TransferStats::default(); program.transfers.len()],
+            span_bytes: vec![0; n],
             cfg,
         }
     }
@@ -202,6 +237,32 @@ impl<'p> Simulator<'p> {
             comm_time_s: self.comm_us / 1e6,
             compute_time_s: self.compute_us / 1e6,
             reductions: self.reductions,
+            per_proc: self
+                .cats
+                .iter()
+                .map(|c| ProcBreakdown {
+                    compute_s: c.compute_s / 1e6,
+                    send_s: c.send_s / 1e6,
+                    recv_s: c.recv_s / 1e6,
+                    wait_s: c.wait_s / 1e6,
+                    sync_s: c.sync_s / 1e6,
+                    overhead_s: c.overhead_s / 1e6,
+                })
+                .collect(),
+            transfers: self
+                .xfer
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    (
+                        i as u32,
+                        TransferStats {
+                            wait_s: s.wait_s / 1e6,
+                            ..*s
+                        },
+                    )
+                })
+                .collect(),
             ..SimResult::default()
         };
         for (i, s) in self.program.scalars.iter().enumerate() {
@@ -209,7 +270,9 @@ impl<'p> Simulator<'p> {
         }
         if self.cfg.compute_data {
             for (i, a) in self.program.arrays.iter().enumerate() {
-                result.arrays.insert(a.name.clone(), self.arrays[i].gather().1);
+                result
+                    .arrays
+                    .insert(a.name.clone(), self.arrays[i].gather().1);
             }
         }
         result
@@ -225,7 +288,13 @@ impl<'p> Simulator<'p> {
                         self.exec_block(body);
                     }
                 }
-                Stmt::For { var, lo, hi, step, body } => {
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
                     let lo = lo.eval(&self.env);
                     let hi = hi.eval(&self.env);
                     let mut i = lo;
@@ -261,9 +330,20 @@ impl<'p> Simulator<'p> {
             } else {
                 self.cfg.machine.stmt_overhead_us + local.count() as f64 * flops * flop_us
             };
+            let t0 = self.clocks[p];
             self.clocks[p] += dt;
+            self.cats[p].compute_s += dt;
             if p == cp {
                 self.compute_us += dt;
+            }
+            if let Some(trace) = &self.cfg.trace {
+                trace.record(TraceEvent {
+                    proc: p,
+                    start_us: t0,
+                    dur_us: dt,
+                    kind: SpanKind::Compute { array: lhs as u32 },
+                    bytes: 0,
+                });
             }
         }
         if self.cfg.compute_data {
@@ -284,8 +364,15 @@ impl<'p> Simulator<'p> {
             }
             let mut outs: Vec<([i64; MAX_RANK], Vec<f64>)> = Vec::new();
             {
-                let view = ProcView { arrays: &self.arrays, p };
-                let ctx = EvalCtx { src: &view, scalars: &self.scalars, env: &self.env };
+                let view = ProcView {
+                    arrays: &self.arrays,
+                    p,
+                };
+                let ctx = EvalCtx {
+                    src: &view,
+                    scalars: &self.scalars,
+                    env: &self.env,
+                };
                 for_each_run(&local, |base, len| {
                     let mut buf = self.pool.get(len);
                     eval_run(&ctx, rhs, base, d_last, &mut buf, &mut self.pool);
@@ -305,8 +392,18 @@ impl<'p> Simulator<'p> {
             ScalarRhs::Expr(e) => {
                 let dt = f64::from(expr_flops(e)) * self.cfg.machine.flop_us
                     + self.cfg.machine.guard_overhead_us;
-                for c in self.clocks.iter_mut() {
+                for (p, c) in self.clocks.iter_mut().enumerate() {
+                    if let Some(trace) = &self.cfg.trace {
+                        trace.record(TraceEvent {
+                            proc: p,
+                            start_us: *c,
+                            dur_us: dt,
+                            kind: SpanKind::Scalar { scalar: lhs as u32 },
+                            bytes: 0,
+                        });
+                    }
                     *c += dt;
+                    self.cats[p].compute_s += dt;
                 }
                 self.compute_us += dt;
                 self.scalars[lhs] = eval_scalar(e, &self.scalars, &self.env);
@@ -329,16 +426,23 @@ impl<'p> Simulator<'p> {
                     let dt = if local.is_empty() {
                         self.cfg.machine.guard_overhead_us
                     } else {
-                        self.cfg.machine.stmt_overhead_us
-                            + local.count() as f64 * flops * flop_us
+                        self.cfg.machine.stmt_overhead_us + local.count() as f64 * flops * flop_us
                     };
                     self.clocks[p] += dt;
+                    self.cats[p].compute_s += dt;
                     if p == self.count_proc {
                         self.compute_us += dt;
                     }
                     if self.cfg.compute_data && !local.is_empty() {
-                        let view = ProcView { arrays: &self.arrays, p };
-                        let ctx = EvalCtx { src: &view, scalars: &self.scalars, env: &self.env };
+                        let view = ProcView {
+                            arrays: &self.arrays,
+                            p,
+                        };
+                        let ctx = EvalCtx {
+                            src: &view,
+                            scalars: &self.scalars,
+                            env: &self.env,
+                        };
                         for_each_run(&local, |base, len| {
                             let mut buf = self.pool.get(len);
                             eval_run(&ctx, expr, base, rank - 1, &mut buf, &mut self.pool);
@@ -350,9 +454,21 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 // The combine tree is a barrier: all clocks join.
-                let t = self.clocks.iter().copied().fold(0.0_f64, f64::max)
-                    + self.cfg.machine.reduce_us(self.grid.len());
-                for c in self.clocks.iter_mut() {
+                let max = self.clocks.iter().copied().fold(0.0_f64, f64::max);
+                let combine = self.cfg.machine.reduce_us(self.grid.len());
+                let t = max + combine;
+                for (p, c) in self.clocks.iter_mut().enumerate() {
+                    if let Some(trace) = &self.cfg.trace {
+                        trace.record(TraceEvent {
+                            proc: p,
+                            start_us: *c,
+                            dur_us: t - *c,
+                            kind: SpanKind::Reduce { scalar: lhs as u32 },
+                            bytes: 0,
+                        });
+                    }
+                    self.cats[p].wait_s += max - *c;
+                    self.cats[p].sync_s += combine;
                     *c = t;
                 }
                 self.reductions += 1;
@@ -370,11 +486,17 @@ impl<'p> Simulator<'p> {
         let before = self.clocks[cp];
         if kind == CallKind::DN {
             self.dynamic_comm += 1;
+            self.xfer[tid.index()].executions += 1;
         }
+        // Clock snapshot for trace spans (traced runs only — the clone is
+        // the only tracing cost, and it never touches the clocks).
+        let span_start = self.cfg.trace.as_ref().map(|_| self.clocks.clone());
+        self.span_bytes.iter_mut().for_each(|b| *b = 0);
         let action = self.binding.action(kind);
         let guard = self.cfg.machine.guard_overhead_us;
-        for c in self.clocks.iter_mut() {
+        for (p, c) in self.clocks.iter_mut().enumerate() {
             *c += guard;
+            self.cats[p].overhead_s += guard;
         }
         match action {
             Action::Noop => {}
@@ -385,8 +507,9 @@ impl<'p> Simulator<'p> {
             Action::Sync => {
                 // The synch call itself costs CPU on every processor,
                 // data or not (the prototype syncs before its guard).
-                for c in self.clocks.iter_mut() {
+                for (p, c) in self.clocks.iter_mut().enumerate() {
                     *c += self.costs.sync_call_us;
+                    self.cats[p].sync_s += self.costs.sync_call_us;
                 }
                 match kind {
                     CallKind::DR => self.do_sync_dr(tid),
@@ -398,6 +521,20 @@ impl<'p> Simulator<'p> {
             Action::WaitSend => self.do_wait_send(tid),
         }
         self.comm_us += self.clocks[cp] - before;
+        if let (Some(trace), Some(start)) = (&self.cfg.trace, span_start) {
+            for p in 0..self.grid.len() {
+                trace.record(TraceEvent {
+                    proc: p,
+                    start_us: start[p],
+                    dur_us: self.clocks[p] - start[p],
+                    kind: SpanKind::Comm {
+                        call: kind,
+                        transfer: tid.0,
+                    },
+                    bytes: self.span_bytes[p],
+                });
+            }
+        }
     }
 
     /// Computes the transfer's slab geometry under the current environment.
@@ -450,7 +587,11 @@ impl<'p> Simulator<'p> {
                 outgoing[q].push((p, bytes[p]));
             }
         }
-        Geom { slabs, bytes, outgoing }
+        Geom {
+            slabs,
+            bytes,
+            outgoing,
+        }
     }
 
     /// SR under `csend`/`pvm_send` (blocking, buffered) or `isend`/`hsend`
@@ -471,6 +612,8 @@ impl<'p> Simulator<'p> {
                 // Paragon's co-processor did not relieve the host (paper
                 // §3.2: async primitives do not reduce exposed overhead).
                 self.clocks[p] += self.costs.send_cpu_us(b);
+                self.cats[p].send_s += self.costs.send_cpu_us(b);
+                self.span_bytes[p] += b;
                 fl.arrival[reader] = self.clocks[p] + self.costs.wire_us(b);
                 fl.buf_free[p] = self.clocks[p];
                 let _ = is_async;
@@ -488,7 +631,11 @@ impl<'p> Simulator<'p> {
     fn do_put(&mut self, tid: TransferId) {
         let geom = self.geometry(tid);
         let n = self.grid.len();
-        let dr = self.dr_time.get(&tid).cloned().unwrap_or_else(|| vec![0.0; n]);
+        let dr = self
+            .dr_time
+            .get(&tid)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; n]);
         let mut fl = InFlight {
             arrival: vec![f64::NEG_INFINITY; n],
             recv_bytes: geom.bytes.clone(),
@@ -499,6 +646,9 @@ impl<'p> Simulator<'p> {
         for p in 0..n {
             for &(reader, b) in &geom.outgoing[p] {
                 let start = self.clocks[p].max(dr[reader]);
+                self.cats[p].wait_s += start - self.clocks[p];
+                self.cats[p].send_s += self.costs.send_cpu_us(b);
+                self.span_bytes[p] += b;
                 self.clocks[p] = start + self.costs.send_cpu_us(b);
                 fl.arrival[reader] = self.clocks[p] + self.costs.wire_us(b);
                 fl.buf_free[p] = self.clocks[p];
@@ -531,6 +681,8 @@ impl<'p> Simulator<'p> {
         for p in 0..n {
             if geom.bytes[p] > 0 {
                 self.clocks[p] += self.costs.post_recv_us;
+                self.cats[p].recv_s += self.costs.post_recv_us;
+                self.span_bytes[p] += geom.bytes[p];
             }
             dr[p] = self.clocks[p];
         }
@@ -556,10 +708,14 @@ impl<'p> Simulator<'p> {
         // wavefront-serialized sweeps (TOMCATV, SP) are forced to a
         // mesh-wide rendezvous at every data-moving row.
         let n = self.grid.len();
-        let joined = self.clocks.iter().copied().fold(0.0_f64, f64::max) + self.costs.sync_us;
+        let max = self.clocks.iter().copied().fold(0.0_f64, f64::max);
+        let joined = max + self.costs.sync_us;
         let mut dr = vec![0.0; n];
         for p in 0..n {
             if geom.exchanges(p) {
+                self.cats[p].wait_s += max - self.clocks[p];
+                self.cats[p].sync_s += self.costs.sync_us;
+                self.span_bytes[p] += geom.bytes[p];
                 self.clocks[p] = joined;
             }
             dr[p] = self.clocks[p];
@@ -580,6 +736,20 @@ impl<'p> Simulator<'p> {
                 continue;
             }
             let ready = self.clocks[p].max(fl.arrival[p]);
+            let waited = ready - self.clocks[p];
+            self.cats[p].wait_s += waited;
+            match kind {
+                RecvKind::Blocking => self.cats[p].recv_s += self.costs.recv_cpu_us(b),
+                RecvKind::Wait => {
+                    self.cats[p].overhead_s += self.costs.wait_us;
+                    self.cats[p].recv_s += b as f64 * self.costs.recv_per_byte_us;
+                }
+            }
+            self.span_bytes[p] += b;
+            let st = &mut self.xfer[tid.index()];
+            st.wait_s += waited;
+            st.bytes += b;
+            st.max_message_bytes = st.max_message_bytes.max(b);
             self.clocks[p] = ready
                 + match kind {
                     RecvKind::Blocking => self.costs.recv_cpu_us(b),
@@ -611,17 +781,26 @@ impl<'p> Simulator<'p> {
             // Only the receiving side has anything to wait for at DN.
             let partnered = geom.bytes[p] > 0;
             if let Some(fl) = self.inflight.get(&tid) {
-                if fl.recv_bytes[p] > 0 {
+                let b = fl.recv_bytes[p];
+                if b > 0 {
                     t = t.max(fl.arrival[p]);
+                    let waited = t - self.clocks[p];
+                    self.cats[p].wait_s += waited;
+                    self.span_bytes[p] += b;
+                    let st = &mut self.xfer[tid.index()];
+                    st.wait_s += waited;
+                    st.bytes += b;
+                    st.max_message_bytes = st.max_message_bytes.max(b);
                     if p == self.count_proc {
                         self.data_transfers += 1;
-                        self.bytes_received += fl.recv_bytes[p];
-                        self.max_message_bytes = self.max_message_bytes.max(fl.recv_bytes[p]);
+                        self.bytes_received += b;
+                        self.max_message_bytes = self.max_message_bytes.max(b);
                     }
                 }
             }
             if partnered {
                 t += self.costs.sync_us;
+                self.cats[p].sync_s += self.costs.sync_us;
             }
             self.clocks[p] = t;
         }
@@ -655,7 +834,10 @@ impl<'p> Simulator<'p> {
         };
         for p in 0..self.grid.len() {
             if fl.sent[p] {
-                self.clocks[p] = self.clocks[p].max(fl.buf_free[p]) + self.costs.wait_us;
+                let drained = self.clocks[p].max(fl.buf_free[p]);
+                self.cats[p].wait_s += drained - self.clocks[p];
+                self.cats[p].overhead_s += self.costs.wait_us;
+                self.clocks[p] = drained + self.costs.wait_us;
             }
         }
     }
@@ -783,7 +965,11 @@ mod tests {
                     + Expr::at(a, compass::WEST))
                     * Expr::Const(0.25),
             );
-            b.assign(interior, c, Expr::at(a, compass::EAST) + Expr::at(c, compass::EAST));
+            b.assign(
+                interior,
+                c,
+                Expr::at(a, compass::EAST) + Expr::at(c, compass::EAST),
+            );
             b.assign(interior, a, Expr::local(new));
             b.assign(interior, d, Expr::at(new, compass::EAST));
             b.reduce(
@@ -838,7 +1024,9 @@ mod tests {
         let src = jacobi(64, 10);
         let time = |cfg: &OptConfig| {
             let opt = optimize(&src, cfg);
-            Simulator::new(&opt.program, SimConfig::timing(t3d(), Library::Pvm, 16)).run().time_s
+            Simulator::new(&opt.program, SimConfig::timing(t3d(), Library::Pvm, 16))
+                .run()
+                .time_s
         };
         let base = time(&OptConfig::baseline());
         let rr = time(&OptConfig::rr());
@@ -911,6 +1099,108 @@ mod tests {
         assert_eq!(r.data_transfers, 1);
         // dynamic count = executed quads = 15 iterations.
         assert_eq!(r.dynamic_comm, 15);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        // The tentpole invariant: a trace sink is purely observational.
+        let src = jacobi(16, 3);
+        for (name, cfg) in OptConfig::presets() {
+            let opt = optimize(&src, &cfg);
+            for (machine, lib) in [
+                (t3d(), Library::Pvm),
+                (t3d(), Library::Shmem),
+                (MachineSpec::paragon(), Library::NxAsync),
+            ] {
+                let cfg = SimConfig::full(machine, lib, 4);
+                let plain = Simulator::new(&opt.program, cfg.clone()).run();
+                let rec = crate::trace::Recorder::new();
+                let traced = Simulator::new(&opt.program, cfg.with_trace(rec.clone())).run();
+                assert_eq!(plain, traced, "{name}/{lib:?}: tracing changed the result");
+                assert!(!rec.is_empty(), "{name}/{lib:?}: no events recorded");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_events_cover_every_dn_on_every_proc() {
+        let src = jacobi(12, 4);
+        let opt = optimize(&src, &OptConfig::pl());
+        let rec = crate::trace::Recorder::new();
+        let procs = 4;
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(t3d(), Library::Pvm, procs).with_trace(rec.clone()),
+        )
+        .run();
+        let events = rec.events();
+        // Every executed DN produces exactly one event per processor.
+        for p in 0..procs {
+            let dn = events
+                .iter()
+                .filter(|e| {
+                    e.proc == p
+                        && matches!(
+                            e.kind,
+                            SpanKind::Comm {
+                                call: CallKind::DN,
+                                ..
+                            }
+                        )
+                })
+                .count() as u64;
+            assert_eq!(dn, r.dynamic_comm, "proc {p}");
+        }
+        // Spans lie on the simulated timeline.
+        for e in &events {
+            assert!(e.start_us >= 0.0 && e.dur_us >= 0.0);
+            assert!(e.start_us + e.dur_us <= r.time_s * 1e6 + 1e-6);
+        }
+        // Traced bytes at DN agree with the aggregate transfer table.
+        let traced_bytes: u64 = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    SpanKind::Comm {
+                        call: CallKind::DN,
+                        ..
+                    }
+                )
+            })
+            .map(|e| e.bytes)
+            .sum();
+        let table_bytes: u64 = r.transfers.values().map(|s| s.bytes).sum();
+        assert_eq!(traced_bytes, table_bytes);
+    }
+
+    #[test]
+    fn per_proc_breakdown_accounts_for_the_clock() {
+        let src = jacobi(16, 3);
+        let opt = optimize(&src, &OptConfig::cc());
+        let r = Simulator::new(&opt.program, SimConfig::timing(t3d(), Library::Pvm, 4)).run();
+        assert_eq!(r.per_proc.len(), r.per_proc_time_s.len());
+        for (b, t) in r.per_proc.iter().zip(&r.per_proc_time_s) {
+            assert!(b.compute_s > 0.0);
+            // Every accumulated category is non-negative and their sum does
+            // not exceed the final clock (attribution is conservative).
+            for c in [
+                b.compute_s,
+                b.send_s,
+                b.recv_s,
+                b.wait_s,
+                b.sync_s,
+                b.overhead_s,
+            ] {
+                assert!(c >= 0.0);
+            }
+            assert!(b.total_s() <= t * 1.0001 + 1e-9, "{} > {}", b.total_s(), t);
+        }
+        // The transfer table covers every transfer and matches the dynamic
+        // count in total.
+        assert_eq!(r.transfers.len(), opt.program.transfers.len());
+        let total_exec: u64 = r.transfers.values().map(|s| s.executions).sum();
+        assert_eq!(total_exec, r.dynamic_comm);
     }
 
     #[test]

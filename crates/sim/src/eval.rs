@@ -131,7 +131,11 @@ mod tests {
     }
 
     fn ctx<'a>(blocks: &'a Vec<Block>, scalars: &'a [f64], env: &'a LoopEnv) -> EvalCtx<'a> {
-        EvalCtx { src: blocks, scalars, env }
+        EvalCtx {
+            src: blocks,
+            scalars,
+            env,
+        }
     }
 
     #[test]
@@ -146,7 +150,14 @@ mod tests {
         eval_run(&c, &Expr::Const(3.0), [2, 1, 0], 1, &mut out, &mut pool);
         assert_eq!(out, [3.0; 3]);
 
-        eval_run(&c, &Expr::Scalar(commopt_ir::ScalarId(0)), [2, 1, 0], 1, &mut out, &mut pool);
+        eval_run(
+            &c,
+            &Expr::Scalar(commopt_ir::ScalarId(0)),
+            [2, 1, 0],
+            1,
+            &mut out,
+            &mut pool,
+        );
         assert_eq!(out, [7.5; 3]);
 
         eval_run(&c, &Expr::Index(1), [2, 2, 0], 1, &mut out, &mut pool);
@@ -166,10 +177,24 @@ mod tests {
         let mut out = [0.0; 2];
 
         // A@east at (2, 2..3) reads (2, 3..4) = 23, 24.
-        eval_run(&c, &Expr::at(ArrayId(0), compass::EAST), [2, 2, 0], 1, &mut out, &mut pool);
+        eval_run(
+            &c,
+            &Expr::at(ArrayId(0), compass::EAST),
+            [2, 2, 0],
+            1,
+            &mut out,
+            &mut pool,
+        );
         assert_eq!(out, [23.0, 24.0]);
         // A@nw at (2, 2..3) reads (1, 1..2) = 11, 12.
-        eval_run(&c, &Expr::at(ArrayId(0), compass::NW), [2, 2, 0], 1, &mut out, &mut pool);
+        eval_run(
+            &c,
+            &Expr::at(ArrayId(0), compass::NW),
+            [2, 2, 0],
+            1,
+            &mut out,
+            &mut pool,
+        );
         assert_eq!(out, [11.0, 12.0]);
     }
 

@@ -17,7 +17,13 @@
 //!   snapshotted at SR time. A missing or misplaced communication therefore
 //!   produces NaNs or stale values — the dynamic counterpart of the static
 //!   safety checker in `commopt-core::verify` — which the test suite
-//!   compares against the independent sequential interpreter in [`seq`].
+//!   compares against the independent sequential interpreter in [`seq`];
+//! * optionally (with a sink installed via `SimConfig::with_trace`) a
+//!   per-processor **event timeline** — compute spans and every IRONMAN
+//!   call with transfer id and byte counts — exportable as Chrome
+//!   `trace_event` JSON via [`trace::chrome_trace`]. Tracing is purely
+//!   observational: a traced run's `SimResult` is identical to an
+//!   untraced one.
 //!
 //! Because the language has no data-dependent control flow, all processors
 //! execute the same statement sequence and the simulator advances them in
@@ -31,11 +37,13 @@ pub mod engine;
 pub mod eval;
 pub mod metrics;
 pub mod seq;
+pub mod trace;
 
 pub use darray::{Block, DistArray};
 pub use engine::{SimConfig, Simulator};
-pub use metrics::SimResult;
+pub use metrics::{ProcBreakdown, SimResult, TransferStats};
 pub use seq::SeqInterp;
+pub use trace::{chrome_trace, Recorder, SpanKind, TraceEvent, TraceHandle, TraceSink};
 
 use commopt_ir::Program;
 use commopt_ironman::Library;
@@ -43,7 +51,12 @@ use commopt_machine::MachineSpec;
 
 /// Convenience: simulate `program` on `machine`/`library` with `nprocs`
 /// processors, timing only (no numerics).
-pub fn simulate(program: &Program, machine: &MachineSpec, library: Library, nprocs: usize) -> SimResult {
+pub fn simulate(
+    program: &Program,
+    machine: &MachineSpec,
+    library: Library,
+    nprocs: usize,
+) -> SimResult {
     Simulator::new(program, SimConfig::timing(machine.clone(), library, nprocs)).run()
 }
 

@@ -78,7 +78,10 @@ impl SeqInterp {
 }
 
 fn linear(rect: &Rect, idx: [i64; MAX_RANK]) -> usize {
-    assert!(rect.contains(idx), "sequential read {idx:?} outside {rect:?}");
+    assert!(
+        rect.contains(idx),
+        "sequential read {idx:?} outside {rect:?}"
+    );
     let e1 = rect.extent(1) as usize;
     let e2 = rect.extent(2) as usize;
     let o0 = (idx[0] - rect.lo[0]) as usize;
@@ -121,7 +124,13 @@ fn exec_block(st: &mut State<'_>, block: &commopt_ir::Block) {
                     exec_block(st, body);
                 }
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = lo.eval(&st.env);
                 let hi = hi.eval(&st.env);
                 let mut i = lo;
@@ -173,7 +182,11 @@ mod tests {
         let bounds = Rect::d2((1, 4), (1, 4));
         let x = b.array("X", bounds);
         let a = b.array("A", bounds);
-        b.assign(Region::from_rect(bounds), x, Expr::Index(0) * Expr::Const(10.0) + Expr::Index(1));
+        b.assign(
+            Region::from_rect(bounds),
+            x,
+            Expr::Index(0) * Expr::Const(10.0) + Expr::Index(1),
+        );
         b.assign(Region::d2((1, 4), (1, 3)), a, Expr::at(x, compass::EAST));
         let r = SeqInterp::run(&b.finish());
         // A[2,2] = X[2,3] = 23
@@ -201,7 +214,11 @@ mod tests {
         let x = b.array("X", bounds);
         let s = b.scalar("s", 0.0);
         let m = b.scalar("m", 0.0);
-        b.assign(Region::from_rect(bounds), x, Expr::Index(0) + Expr::Index(1));
+        b.assign(
+            Region::from_rect(bounds),
+            x,
+            Expr::Index(0) + Expr::Index(1),
+        );
         b.reduce(s, ReduceOp::Sum, Region::from_rect(bounds), Expr::local(x));
         b.reduce(m, ReduceOp::Max, Region::from_rect(bounds), Expr::local(x));
         b.scalar_assign(s, Expr::Scalar(commopt_ir::ScalarId(0)) * Expr::Const(2.0));

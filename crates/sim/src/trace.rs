@@ -1,0 +1,325 @@
+//! Opt-in per-event execution tracing.
+//!
+//! When a [`TraceHandle`] is installed in
+//! [`SimConfig`](crate::SimConfig), the simulator records one
+//! [`TraceEvent`] per processor for every timeline span it simulates:
+//! compute statements, scalar statements, reduction joins, and each of the
+//! four IRONMAN calls of every executed transfer. With no handle installed
+//! nothing is recorded and no clock behavior changes — tracing is purely
+//! observational, so a traced run produces a [`SimResult`](crate::SimResult)
+//! identical to an untraced one (asserted by the test suite).
+//!
+//! The captured timeline can be rendered to the Chrome `trace_event` JSON
+//! format with [`chrome_trace`] and opened in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev): one process row per simulated
+//! processor, with named, clickable transfer slices carrying byte counts.
+
+use commopt_ir::{CallKind, Program};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// What one timeline span represents.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SpanKind {
+    /// Element-wise computation of an array assignment (target array index).
+    Compute { array: u32 },
+    /// A scalar statement's replicated computation (target scalar index).
+    Scalar { scalar: u32 },
+    /// The clock-joining combine tree of a reduction (target scalar index).
+    Reduce { scalar: u32 },
+    /// One IRONMAN call of a transfer.
+    Comm { call: CallKind, transfer: u32 },
+}
+
+impl SpanKind {
+    /// The Chrome trace category for the span.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Compute { .. } | SpanKind::Scalar { .. } => "compute",
+            SpanKind::Reduce { .. } => "reduce",
+            SpanKind::Comm { .. } => "comm",
+        }
+    }
+}
+
+/// One per-processor timeline span, in simulated microseconds.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// The processor whose timeline the span belongs to.
+    pub proc: usize,
+    /// Span start on the processor's clock, µs.
+    pub start_us: f64,
+    /// Span duration, µs (0 for calls the guard short-circuited).
+    pub dur_us: f64,
+    pub kind: SpanKind,
+    /// Message bytes this processor moved during the span (received at
+    /// DR/DN, sent at SR; 0 for compute spans and no-op calls).
+    pub bytes: u64,
+}
+
+/// Consumes trace events as the simulator produces them.
+///
+/// Implementations must not assume events arrive sorted by `start_us`:
+/// processors advance in statement lockstep, not clock order.
+pub trait TraceSink {
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// An in-memory [`TraceSink`] with shared ownership: keep one clone and
+/// install the other via [`SimConfig::with_trace`](crate::SimConfig::with_trace),
+/// then read the events back after the run.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Recorder {
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// A copy of all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Drains the recorded events, leaving the recorder empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// A clonable, type-erased handle to a [`TraceSink`], storable in
+/// [`SimConfig`](crate::SimConfig) (which must stay `Clone + Debug`).
+#[derive(Clone)]
+pub struct TraceHandle(Rc<RefCell<dyn TraceSink>>);
+
+impl TraceHandle {
+    pub fn new(sink: impl TraceSink + 'static) -> TraceHandle {
+        TraceHandle(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Forwards one event to the sink.
+    pub fn record(&self, event: TraceEvent) {
+        self.0.borrow_mut().record(event);
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceHandle(..)")
+    }
+}
+
+/// The display name of a span: `compute A`, `reduce err`, `DN t3 [B@east]`.
+pub fn span_name(kind: SpanKind, program: &Program) -> String {
+    match kind {
+        SpanKind::Compute { array } => {
+            format!("compute {}", program.arrays[array as usize].name)
+        }
+        SpanKind::Scalar { scalar } => {
+            format!("scalar {}", program.scalars[scalar as usize].name)
+        }
+        SpanKind::Reduce { scalar } => {
+            format!("reduce {}", program.scalars[scalar as usize].name)
+        }
+        SpanKind::Comm { call, transfer } => {
+            let t = &program.transfers[transfer as usize];
+            let items: Vec<String> = t
+                .items
+                .iter()
+                .map(|it| format!("{}{}", program.arrays[it.array.index()].name, it.offset))
+                .collect();
+            format!("{} t{} [{}]", call.name(), transfer, items.join("+"))
+        }
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON array (the format Perfetto
+/// and `chrome://tracing` open directly): one complete (`"ph": "X"`) event
+/// per span, with `pid` = simulated processor and timestamps in µs.
+///
+/// The output is deterministic: identical event lists produce byte-identical
+/// JSON.
+pub fn chrome_trace(events: &[TraceEvent], program: &Program) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = span_name(e.kind, program);
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":0",
+            json_string(&name),
+            e.kind.category(),
+            e.start_us,
+            e.dur_us,
+            e.proc,
+        );
+        match e.kind {
+            SpanKind::Comm { call, transfer } => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"transfer\":{transfer},\"call\":\"{}\",\"bytes\":{}}}",
+                    call.name(),
+                    e.bytes
+                );
+            }
+            _ => {
+                let _ = write!(out, ",\"args\":{{}}");
+            }
+        }
+        out.push('}');
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_ir::offset::compass;
+    use commopt_ir::{ProgramBuilder, Rect, TransferItem};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let bounds = Rect::d2((1, 4), (1, 4));
+        let a = b.array("A", bounds);
+        b.scalar("s", 0.0);
+        b.assign(
+            commopt_ir::Region::from_rect(bounds),
+            a,
+            commopt_ir::Expr::Const(1.0),
+        );
+        let mut p = b.finish();
+        p.add_transfer(vec![TransferItem::new(
+            a,
+            compass::EAST,
+            commopt_ir::Region::from_rect(bounds),
+        )]);
+        p
+    }
+
+    #[test]
+    fn recorder_collects_and_drains() {
+        let rec = Recorder::new();
+        let handle = TraceHandle::new(rec.clone());
+        handle.record(TraceEvent {
+            proc: 0,
+            start_us: 1.0,
+            dur_us: 2.0,
+            kind: SpanKind::Compute { array: 0 },
+            bytes: 0,
+        });
+        assert_eq!(rec.len(), 1);
+        let evs = rec.take();
+        assert_eq!(evs.len(), 1);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn span_names_resolve_declarations() {
+        let p = tiny_program();
+        assert_eq!(span_name(SpanKind::Compute { array: 0 }, &p), "compute A");
+        assert_eq!(span_name(SpanKind::Reduce { scalar: 0 }, &p), "reduce s");
+        assert_eq!(
+            span_name(
+                SpanKind::Comm {
+                    call: CallKind::DN,
+                    transfer: 0
+                },
+                &p
+            ),
+            "DN t0 [A@east]"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let p = tiny_program();
+        let events = vec![
+            TraceEvent {
+                proc: 1,
+                start_us: 0.5,
+                dur_us: 1.5,
+                kind: SpanKind::Comm {
+                    call: CallKind::DN,
+                    transfer: 0,
+                },
+                bytes: 64,
+            },
+            TraceEvent {
+                proc: 0,
+                start_us: 0.0,
+                dur_us: 3.0,
+                kind: SpanKind::Compute { array: 0 },
+                bytes: 0,
+            },
+        ];
+        let json = chrome_trace(&events, &p);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"DN t0 [A@east]\""));
+        assert!(json.contains("\"bytes\":64"));
+        assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        let p = tiny_program();
+        let events = vec![TraceEvent {
+            proc: 0,
+            start_us: 0.125,
+            dur_us: 2.25,
+            kind: SpanKind::Scalar { scalar: 0 },
+            bytes: 0,
+        }];
+        assert_eq!(chrome_trace(&events, &p), chrome_trace(&events, &p));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+}

@@ -1,7 +1,7 @@
-//! The ultimate end-to-end property: for random programs, random optimizer
-//! configurations, random processor grids, and every communication
-//! library, the distributed simulation's numerics equal the independent
-//! sequential interpreter's.
+//! The ultimate end-to-end randomized test: for random programs, random
+//! optimizer configurations, random processor grids, and every
+//! communication library, the distributed simulation's numerics equal the
+//! independent sequential interpreter's.
 //!
 //! This closes the loop between the static safety verifier (commopt-core)
 //! and the runtime: an optimizer bug that slipped both the planner and the
@@ -13,7 +13,7 @@ use commopt_ir::{Expr, Offset, Program, ProgramBuilder, Rect, ReduceOp, Region};
 use commopt_ironman::Library;
 use commopt_machine::MachineSpec;
 use commopt_sim::{SeqInterp, SimConfig, Simulator};
-use proptest::prelude::*;
+use commopt_testkit::{cases, Rng};
 
 const N: i64 = 10;
 const NUM_ARRAYS: u32 = 4;
@@ -22,148 +22,170 @@ fn interior() -> Region {
     Region::d2((2, N - 1), (2, N - 1))
 }
 
-fn arb_ref() -> impl Strategy<Value = Expr> {
-    (0..NUM_ARRAYS, 0..9usize).prop_map(|(a, o)| {
-        let offsets: [Offset; 9] = [
-            Offset::ZERO,
-            compass::EAST,
-            compass::WEST,
-            compass::NORTH,
-            compass::SOUTH,
-            compass::SE,
-            compass::NE,
-            compass::SW,
-            compass::NW,
-        ];
-        Expr::at(commopt_ir::ArrayId(a), offsets[o])
-    })
-}
-
-fn arb_rhs() -> impl Strategy<Value = Expr> {
-    prop::collection::vec(arb_ref(), 1..4).prop_map(|refs| {
-        // Average the refs (keeps values bounded over iterations).
-        let n = refs.len() as f64;
-        let sum = refs.into_iter().reduce(|a, b| a + b).expect("non-empty");
-        sum * Expr::Const(1.0 / n)
-    })
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec((0..NUM_ARRAYS, arb_rhs()), 1..5),
-        prop::collection::vec((0..NUM_ARRAYS, arb_rhs()), 1..6),
-        1u64..3,
-        prop::bool::ANY,
+fn arb_ref(rng: &mut Rng) -> Expr {
+    let offsets: [Offset; 9] = [
+        Offset::ZERO,
+        compass::EAST,
+        compass::WEST,
+        compass::NORTH,
+        compass::SOUTH,
+        compass::SE,
+        compass::NE,
+        compass::SW,
+        compass::NW,
+    ];
+    Expr::at(
+        commopt_ir::ArrayId(rng.u32(0, NUM_ARRAYS - 1)),
+        *rng.pick(&offsets),
     )
-        .prop_map(|(pre, body, trips, with_reduce)| {
-            let mut b = ProgramBuilder::new("prop");
-            let bounds = Rect::d2((1, N), (1, N));
-            for i in 0..NUM_ARRAYS {
-                b.array(format!("A{i}"), bounds);
-            }
-            let s = b.scalar("acc", 0.0);
-            // Distinct initial contents per array.
-            for i in 0..NUM_ARRAYS {
-                b.assign(
-                    Region::from_rect(bounds),
-                    commopt_ir::ArrayId(i),
-                    Expr::Index(0) * Expr::Const(0.1 * (i + 1) as f64) + Expr::Index(1),
-                );
-            }
-            for (lhs, rhs) in &pre {
-                b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
-            }
-            b.repeat(trips, |b| {
-                for (lhs, rhs) in &body {
-                    b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
-                }
-                if with_reduce {
-                    b.reduce(s, ReduceOp::Sum, interior(), Expr::local(commopt_ir::ArrayId(0)));
-                }
-            });
-            b.finish()
-        })
+}
+
+fn arb_rhs(rng: &mut Rng) -> Expr {
+    let refs = rng.vec_of(1, 3, arb_ref);
+    // Average the refs (keeps values bounded over iterations).
+    let n = refs.len() as f64;
+    let sum = refs.into_iter().reduce(|a, b| a + b).expect("non-empty");
+    sum * Expr::Const(1.0 / n)
+}
+
+fn arb_program(rng: &mut Rng) -> Program {
+    let pre = rng.vec_of(1, 4, |r| (r.u32(0, NUM_ARRAYS - 1), arb_rhs(r)));
+    let body = rng.vec_of(1, 5, |r| (r.u32(0, NUM_ARRAYS - 1), arb_rhs(r)));
+    let trips = rng.i64(1, 2) as u64;
+    let with_reduce = rng.bool();
+    let mut b = ProgramBuilder::new("prop");
+    let bounds = Rect::d2((1, N), (1, N));
+    for i in 0..NUM_ARRAYS {
+        b.array(format!("A{i}"), bounds);
+    }
+    let s = b.scalar("acc", 0.0);
+    // Distinct initial contents per array.
+    for i in 0..NUM_ARRAYS {
+        b.assign(
+            Region::from_rect(bounds),
+            commopt_ir::ArrayId(i),
+            Expr::Index(0) * Expr::Const(0.1 * (i + 1) as f64) + Expr::Index(1),
+        );
+    }
+    for (lhs, rhs) in &pre {
+        b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
+    }
+    b.repeat(trips, |b| {
+        for (lhs, rhs) in &body {
+            b.assign(interior(), commopt_ir::ArrayId(*lhs), rhs.clone());
+        }
+        if with_reduce {
+            b.reduce(
+                s,
+                ReduceOp::Sum,
+                interior(),
+                Expr::local(commopt_ir::ArrayId(0)),
+            );
+        }
+    });
+    b.finish()
 }
 
 fn check(p: &Program, cfg: &OptConfig, library: Library, procs: usize) -> Result<(), String> {
     let reference = SeqInterp::run(p);
     let opt = optimize(p, cfg);
-    let r = Simulator::new(&opt.program, SimConfig::full(MachineSpec::t3d(), library, procs)).run();
+    let r = Simulator::new(
+        &opt.program,
+        SimConfig::full(MachineSpec::t3d(), library, procs),
+    )
+    .run();
     for a in &p.arrays {
         let xs = reference.array(&a.name).expect("reference array");
         let ys = r.array(&a.name).expect("simulated array");
         for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
             if !(x.is_finite() && y.is_finite()) || (x - y).abs() > 1e-9 * x.abs().max(1.0) {
-                return Err(format!("{}[{i}]: {x} vs {y} ({cfg:?}, {library:?}, {procs}p)", a.name));
+                return Err(format!(
+                    "{}[{i}]: {x} vs {y} ({cfg:?}, {library:?}, {procs}p)",
+                    a.name
+                ));
             }
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn distributed_equals_sequential_for_presets(p in arb_program(), procs in 1usize..=9) {
+#[test]
+fn distributed_equals_sequential_for_presets() {
+    cases(48, |rng| {
+        let p = arb_program(rng);
+        let procs = rng.usize(1, 9);
         for (_, cfg) in OptConfig::presets() {
             if let Err(e) = check(&p, &cfg, Library::Pvm, procs) {
-                prop_assert!(false, "{e}");
+                panic!("{e}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributed_equals_sequential_for_random_configs(
-        p in arb_program(),
-        rr in any::<bool>(),
-        combine in 0..3usize,
-        pl in any::<bool>(),
-        lib in 0..2usize,
-    ) {
+#[test]
+fn distributed_equals_sequential_for_random_configs() {
+    cases(48, |rng| {
+        let p = arb_program(rng);
         let cfg = OptConfig {
-            redundant_removal: rr,
-            combine: [CombineMode::Off, CombineMode::MaxCombining, CombineMode::MaxLatencyHiding][combine],
-            pipeline: pl,
+            redundant_removal: rng.bool(),
+            combine: *rng.pick(&[
+                CombineMode::Off,
+                CombineMode::MaxCombining,
+                CombineMode::MaxLatencyHiding,
+            ]),
+            pipeline: rng.bool(),
             max_combined_items: None,
         };
-        let lib = [Library::Pvm, Library::Shmem][lib];
+        let lib = *rng.pick(&[Library::Pvm, Library::Shmem]);
         if let Err(e) = check(&p, &cfg, lib, 4) {
-            prop_assert!(false, "{e}");
+            panic!("{e}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn global_pass_preserves_numerics(p in arb_program(), procs in 1usize..=9) {
+#[test]
+fn global_pass_preserves_numerics() {
+    cases(48, |rng| {
+        let p = arb_program(rng);
+        let procs = rng.usize(1, 9);
         let reference = SeqInterp::run(&p);
         let opt = optimize(&p, &OptConfig::pl());
         let mut program = opt.program.clone();
         commopt_core::global_pass(&mut program);
-        let r = Simulator::new(&program, SimConfig::full(MachineSpec::t3d(), Library::Pvm, procs)).run();
+        let r = Simulator::new(
+            &program,
+            SimConfig::full(MachineSpec::t3d(), Library::Pvm, procs),
+        )
+        .run();
         for a in &p.arrays {
             let xs = reference.array(&a.name).expect("reference array");
             let ys = r.array(&a.name).expect("simulated array");
             for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
-                prop_assert!(
+                assert!(
                     x.is_finite() && y.is_finite() && (x - y).abs() <= 1e-9 * x.abs().max(1.0),
-                    "{}[{i}]: {x} vs {y} after global pass", a.name
+                    "{}[{i}]: {x} vs {y} after global pass",
+                    a.name
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn timing_metrics_are_sane(p in arb_program()) {
+#[test]
+fn timing_metrics_are_sane() {
+    cases(48, |rng| {
+        let p = arb_program(rng);
         let opt = optimize(&p, &OptConfig::pl());
         let r = Simulator::new(
             &opt.program,
             SimConfig::timing(MachineSpec::t3d(), Library::Pvm, 4),
-        ).run();
-        prop_assert!(r.time_s > 0.0);
-        prop_assert!(r.comm_time_s >= 0.0);
-        prop_assert!(r.compute_time_s > 0.0);
-        prop_assert!(r.comm_time_s + r.compute_time_s <= r.time_s * 1.0001 + 1e-9);
-        prop_assert_eq!(r.dynamic_comm, commopt_core::dynamic_count(&opt.program));
-        prop_assert!(r.per_proc_time_s.iter().all(|t| *t <= r.time_s + 1e-12));
-    }
+        )
+        .run();
+        assert!(r.time_s > 0.0);
+        assert!(r.comm_time_s >= 0.0);
+        assert!(r.compute_time_s > 0.0);
+        assert!(r.comm_time_s + r.compute_time_s <= r.time_s * 1.0001 + 1e-9);
+        assert_eq!(r.dynamic_comm, commopt_core::dynamic_count(&opt.program));
+        assert!(r.per_proc_time_s.iter().all(|t| *t <= r.time_s + 1e-12));
+    });
 }

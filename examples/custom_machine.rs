@@ -74,7 +74,10 @@ fn main() {
     // count and watch how much of cc's win survives.
     println!("Combining-cap ablation on the T3D (SWM, pl plan):");
     for cap in [None, Some(4), Some(2), Some(1)] {
-        let cfg = OptConfig { max_combined_items: cap, ..OptConfig::pl() };
+        let cfg = OptConfig {
+            max_combined_items: cap,
+            ..OptConfig::pl()
+        };
         let opt = optimize(&program, &cfg);
         let r = Simulator::new(
             &opt.program,

@@ -30,7 +30,11 @@ fn main() {
     let residual = b.scalar("residual", 0.0);
 
     b.assign(all, t, Expr::Index(0) * Expr::Const(0.01));
-    b.assign(all, k, Expr::Const(1.0) + Expr::Index(1) * Expr::Const(0.001));
+    b.assign(
+        all,
+        k,
+        Expr::Const(1.0) + Expr::Index(1) * Expr::Const(0.001),
+    );
     b.repeat(40, |b| {
         // Flux uses K@east and T@east together (combinable, same offset);
         // T@east is also re-read below (redundant).
@@ -44,7 +48,8 @@ fn main() {
             tnew,
             Expr::local(t)
                 + Expr::Const(0.2)
-                    * (Expr::at(t, compass::EAST) + Expr::at(t, compass::WEST)
+                    * (Expr::at(t, compass::EAST)
+                        + Expr::at(t, compass::WEST)
                         + Expr::at(t, compass::NORTH)
                         + Expr::at(t, compass::SOUTH)
                         - Expr::Const(4.0) * Expr::local(t))

@@ -17,8 +17,14 @@ fn main() {
     let b = tomcatv();
     let t3d = MachineSpec::t3d();
 
-    println!("TOMCATV {} on {} processors (paper Table 1):\n", b.paper_size, b.paper_procs);
-    println!("{:<22} {:>7} {:>9} {:>10} {:>8}", "experiment", "static", "dynamic", "time (s)", "scaled");
+    println!(
+        "TOMCATV {} on {} processors (paper Table 1):\n",
+        b.paper_size, b.paper_procs
+    );
+    println!(
+        "{:<22} {:>7} {:>9} {:>10} {:>8}",
+        "experiment", "static", "dynamic", "time (s)", "scaled"
+    );
     let program = b.program();
     let mut base = 0.0;
     for e in Experiment::ALL {
@@ -42,7 +48,10 @@ fn main() {
     }
 
     println!("\nProcessor scaling (pl vs baseline, 128x128):");
-    println!("{:>6} {:>12} {:>12} {:>8} {:>12}", "procs", "baseline (s)", "pl (s)", "scaled", "comm frac");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>12}",
+        "procs", "baseline (s)", "pl (s)", "scaled", "comm frac"
+    );
     for procs in [4, 16, 64, 256] {
         let baseline = run(&program, Experiment::Baseline, &t3d, procs);
         let pl = run(&program, Experiment::Pl, &t3d, procs);
@@ -57,7 +66,10 @@ fn main() {
     }
 
     println!("\nProblem-size scaling on 64 processors (pl vs baseline):");
-    println!("{:>6} {:>12} {:>12} {:>8}", "n", "baseline (s)", "pl (s)", "scaled");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "n", "baseline (s)", "pl (s)", "scaled"
+    );
     for n in [64, 128, 256, 512] {
         let p = Frontend::new(b.source)
             .with_config("n", n)
@@ -66,21 +78,25 @@ fn main() {
             .unwrap();
         let baseline = run(&p, Experiment::Baseline, &t3d, 64);
         let pl = run(&p, Experiment::Pl, &t3d, 64);
-        println!("{:>6} {:>12.4} {:>12.4} {:>8.3}", n, baseline.0, pl.0, pl.0 / baseline.0);
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>8.3}",
+            n,
+            baseline.0,
+            pl.0,
+            pl.0 / baseline.0
+        );
     }
     println!("\nCommunication optimizations matter most when the per-processor");
     println!("blocks are small (many procs / small grids) — the surface-to-volume");
     println!("effect the paper's 64-node runs sit in the middle of.");
 }
 
-fn run(
-    p: &commopt::ir::Program,
-    e: Experiment,
-    machine: &MachineSpec,
-    procs: usize,
-) -> (f64, f64) {
+fn run(p: &commopt::ir::Program, e: Experiment, machine: &MachineSpec, procs: usize) -> (f64, f64) {
     let opt = optimize(p, &e.config());
-    let r = Simulator::new(&opt.program, SimConfig::timing(machine.clone(), e.library(), procs))
-        .run();
+    let r = Simulator::new(
+        &opt.program,
+        SimConfig::timing(machine.clone(), e.library(), procs),
+    )
+    .run();
     (r.time_s, r.comm_fraction())
 }

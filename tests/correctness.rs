@@ -34,7 +34,12 @@ fn check(program: &Program, name: &str, cfg: &OptConfig, procs: usize) {
     )
     .run();
     for a in &program.arrays {
-        assert_close(name, &a.name, reference.array(&a.name).unwrap(), r.array(&a.name).unwrap());
+        assert_close(
+            name,
+            &a.name,
+            reference.array(&a.name).unwrap(),
+            r.array(&a.name).unwrap(),
+        );
     }
     for s in &program.scalars {
         let x = reference.scalar(&s.name).unwrap();
@@ -107,9 +112,18 @@ fn paragon_bindings_match_reference_numerically() {
         commopt::ironman::Library::NxCallback,
     ] {
         let opt = optimize(&p, &OptConfig::pl());
-        let r = Simulator::new(&opt.program, SimConfig::full(MachineSpec::paragon(), lib, 4)).run();
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::full(MachineSpec::paragon(), lib, 4),
+        )
+        .run();
         for a in &p.arrays {
-            assert_close("tomcatv", &a.name, reference.array(&a.name).unwrap(), r.array(&a.name).unwrap());
+            assert_close(
+                "tomcatv",
+                &a.name,
+                reference.array(&a.name).unwrap(),
+                r.array(&a.name).unwrap(),
+            );
         }
     }
 }

@@ -1,0 +1,90 @@
+//! Observability invariants over the whole paper suite: the simulator's
+//! executed-DN counter agrees with the structural dynamic count for every
+//! benchmark under every experiment, and installing a trace sink never
+//! changes a run's results.
+
+use commopt::benchmarks::{suite, Experiment};
+use commopt::machine::MachineSpec;
+use commopt::opt::{dynamic_count, optimize};
+use commopt::sim::{Recorder, SimConfig, SimResult, Simulator};
+
+const N: i64 = 16;
+const ITERS: i64 = 2;
+const PROCS: usize = 16;
+
+fn run(exp: Experiment, program: &commopt::ir::Program) -> SimResult {
+    Simulator::new(
+        program,
+        SimConfig::timing(MachineSpec::t3d(), exp.library(), PROCS),
+    )
+    .run()
+}
+
+#[test]
+fn simulator_dn_counter_matches_structural_count_everywhere() {
+    for b in suite() {
+        let p = b.program_with(N, ITERS);
+        for exp in Experiment::ALL {
+            let opt = optimize(&p, &exp.config());
+            let r = run(exp, &opt.program);
+            assert_eq!(
+                r.dynamic_comm,
+                dynamic_count(&opt.program),
+                "{} under {}",
+                b.name,
+                exp.name()
+            );
+            // The per-transfer table partitions the same counter.
+            let total: u64 = r.transfers.values().map(|s| s.executions).sum();
+            assert_eq!(total, r.dynamic_comm, "{} under {}", b.name, exp.name());
+        }
+    }
+}
+
+#[test]
+fn tracing_never_changes_a_suite_run() {
+    for b in suite() {
+        let p = b.program_with(N, ITERS);
+        for exp in [Experiment::Baseline, Experiment::Pl, Experiment::PlShmem] {
+            let opt = optimize(&p, &exp.config());
+            let plain = run(exp, &opt.program);
+            let rec = Recorder::new();
+            let traced = Simulator::new(
+                &opt.program,
+                SimConfig::timing(MachineSpec::t3d(), exp.library(), PROCS).with_trace(rec.clone()),
+            )
+            .run();
+            assert_eq!(plain, traced, "{} under {}", b.name, exp.name());
+            assert!(!rec.is_empty(), "{} under {}", b.name, exp.name());
+        }
+    }
+}
+
+#[test]
+fn pass_log_accounts_for_the_static_count_drop() {
+    // emitted == final static count, and baseline generation count
+    // (emitted + removals + merges under rr) stays consistent per config.
+    for b in suite() {
+        let p = b.program_with(N, ITERS);
+        for exp in Experiment::ALL {
+            let opt = optimize(&p, &exp.config());
+            assert_eq!(
+                opt.log.emitted().count() as u64,
+                opt.static_count(),
+                "{} under {}",
+                b.name,
+                exp.name()
+            );
+        }
+        // Under rr alone: every generated comm either survives or was a
+        // logged removal, so baseline = rr emitted + rr removals.
+        let base = optimize(&p, &Experiment::Baseline.config());
+        let rr = optimize(&p, &Experiment::Rr.config());
+        assert_eq!(
+            base.static_count(),
+            rr.static_count() + rr.log.removals().count() as u64,
+            "{}",
+            b.name
+        );
+    }
+}

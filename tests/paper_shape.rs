@@ -46,7 +46,12 @@ fn each_optimization_reduces_time_under_pvm() {
         assert!(cc < rr, "{}: cc {cc} vs rr {rr}", b.name);
         assert!(pl <= cc + 1e-9, "{}: pl {pl} vs cc {cc}", b.name);
         // Overall win comparable to the paper's 72-97% range.
-        assert!(pl / base > 0.40 && pl / base < 0.99, "{}: pl/base = {}", b.name, pl / base);
+        assert!(
+            pl / base > 0.40 && pl / base < 0.99,
+            "{}: pl/base = {}",
+            b.name,
+            pl / base
+        );
     }
 }
 
@@ -58,7 +63,10 @@ fn tomcatv_gains_little_from_pipelining() {
     let b = commopt::benchmarks::tomcatv();
     let cc = run(&b, Experiment::Cc).2;
     let pl = run(&b, Experiment::Pl).2;
-    assert!((cc - pl) / cc < 0.05, "pipelining gain too large: {cc} vs {pl}");
+    assert!(
+        (cc - pl) / cc < 0.05,
+        "pipelining gain too large: {cc} vs {pl}"
+    );
 }
 
 #[test]
@@ -126,7 +134,11 @@ fn appendix_counts_within_tolerance_of_paper() {
             let (s, d, _) = run(&b, e);
             let p = b.paper.row(e);
             let s_ratio = s as f64 / p.static_count as f64;
-            let s_band = if e == Experiment::Cc { 0.15..=1.5 } else { 0.55..=1.5 };
+            let s_band = if e == Experiment::Cc {
+                0.15..=1.5
+            } else {
+                0.55..=1.5
+            };
             assert!(
                 s_band.contains(&s_ratio),
                 "{} {}: static {s} vs paper {}",
@@ -135,7 +147,11 @@ fn appendix_counts_within_tolerance_of_paper() {
                 p.static_count
             );
             let ratio = d as f64 / p.dynamic_count as f64;
-            let d_band = if e == Experiment::Cc { 0.2..=1.6 } else { 0.6..=1.6 };
+            let d_band = if e == Experiment::Cc {
+                0.2..=1.6
+            } else {
+                0.6..=1.6
+            };
             assert!(
                 d_band.contains(&ratio),
                 "{} {}: dynamic {d} vs paper {}",
@@ -160,5 +176,10 @@ fn sp_z_sweeps_move_no_data() {
     )
     .run();
     // Communication quads execute far more often than data actually moves.
-    assert!(r.dynamic_comm > 4 * r.data_transfers, "{} vs {}", r.dynamic_comm, r.data_transfers);
+    assert!(
+        r.dynamic_comm > 4 * r.data_transfers,
+        "{} vs {}",
+        r.dynamic_comm,
+        r.data_transfers
+    );
 }
