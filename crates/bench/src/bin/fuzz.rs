@@ -1,0 +1,82 @@
+//! Schedule-fuzz driver: every paper benchmark × experiment × binding
+//! under N seeded fault plans, asserting numeric identity to the
+//! sequential reference with zero safety violations, plus a self-check
+//! that a deliberately broken binding is caught by the safety checker.
+//!
+//! ```text
+//! fuzz [--seeds N]
+//! ```
+//!
+//! Exits nonzero if any case fails; each failure line names the case and
+//! seed, a complete deterministic reproduction recipe.
+
+use commopt_bench::fuzz::{broken_binding_is_caught, matrix, run_fuzz, EXPERIMENTS};
+use commopt_bench::Table;
+use commopt_ironman::Library;
+
+fn main() {
+    let mut seeds = 3u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: fuzz [--seeds N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: fuzz [--seeds N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "schedule fuzz: {} benchmarks x {} experiments x {} bindings x {} seed(s)\n",
+        commopt_benchmarks::suite().len(),
+        EXPERIMENTS.len(),
+        Library::ALL.len(),
+        seeds,
+    );
+
+    let sweep = run_fuzz(seeds);
+
+    // Coverage table: one row per benchmark/experiment, one column block
+    // per binding, PASS/FAIL per cell.
+    let mut t = Table::new(&["case", "nx-sync", "nx-async", "nx-callback", "pvm", "shmem"]);
+    let cases = matrix();
+    for bench in commopt_benchmarks::suite() {
+        for exp in EXPERIMENTS {
+            let mut cells = vec![format!("{}/{}", bench.name, exp.name())];
+            for lib in Library::ALL {
+                let name = &cases
+                    .iter()
+                    .find(|(n, b, e, l)| {
+                        b.name == bench.name && *e == exp && *l == lib && !n.is_empty()
+                    })
+                    .expect("matrix covers all combinations")
+                    .0;
+                let failed = sweep.failures.iter().any(|f| &f.case == name);
+                cells.push(if failed { "FAIL" } else { "ok" }.to_string());
+            }
+            t.row(&cells);
+        }
+    }
+    println!("{}", t.render());
+    print!("{}", sweep.report());
+
+    let self_check = broken_binding_is_caught();
+    match &self_check {
+        Ok(()) => println!("self-check: broken SHMEM binding caught as a safety violation"),
+        Err(e) => println!("self-check FAILED: {e}"),
+    }
+
+    if !sweep.ok() || self_check.is_err() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,219 @@
+//! The schedule-fuzz harness.
+//!
+//! The paper's Figure 5 claim is that the optimizer's communication
+//! placement is correct under *every* IRONMAN binding. The deterministic
+//! simulator only ever exercises one schedule per configuration, so this
+//! harness widens the net: every paper benchmark × experiment (vect, rr,
+//! cc, pl) × all five library bindings is executed under `N` seeded
+//! [`FaultPlan`]s — wire jitter, message reordering, slow processors,
+//! dropped-and-retried deliveries — and each perturbed run must still
+//!
+//! 1. reproduce the independent sequential reference numerically,
+//! 2. finish with zero communication-safety violations and no deadlock,
+//! 3. (seed 0 only) be byte-identical to an un-faulted run when the plan
+//!    is the inert [`FaultPlan::none`].
+//!
+//! Failures are collected, not fatal: one sweep reports the complete set
+//! of broken benchmark × binding × seed combinations, each a deterministic
+//! reproduction recipe.
+
+use commopt_benchmarks::{suite, Benchmark, Experiment};
+use commopt_core::optimize;
+use commopt_ir::CallKind;
+use commopt_ironman::{Action, Library};
+use commopt_machine::MachineSpec;
+use commopt_sim::{FaultPlan, SafetyViolation, SeqInterp, SimConfig, SimError, Simulator};
+use commopt_testkit::fuzz::{sweep, Sweep};
+
+/// Small problem size: large enough that every benchmark communicates in
+/// every direction, small enough that the full matrix stays fast.
+const FUZZ_N: i64 = 12;
+const FUZZ_ITERS: i64 = 2;
+const FUZZ_PROCS: usize = 4;
+
+/// The experiments the fuzz matrix sweeps — the paper's four optimization
+/// levels (the shmem/max-latency rows reuse these configs and are covered
+/// by sweeping every library explicitly).
+pub const EXPERIMENTS: [Experiment; 4] = [
+    Experiment::Baseline,
+    Experiment::Rr,
+    Experiment::Cc,
+    Experiment::Pl,
+];
+
+/// A short, slash-free tag for a library (its display name contains `/`).
+pub fn library_tag(lib: Library) -> &'static str {
+    match lib {
+        Library::NxSync => "nx-sync",
+        Library::NxAsync => "nx-async",
+        Library::NxCallback => "nx-callback",
+        Library::Pvm => "pvm",
+        Library::Shmem => "shmem",
+    }
+}
+
+/// The machine a library's binding is calibrated for.
+pub fn machine_for(lib: Library) -> MachineSpec {
+    match lib {
+        Library::Pvm | Library::Shmem => MachineSpec::t3d(),
+        Library::NxSync | Library::NxAsync | Library::NxCallback => MachineSpec::paragon(),
+    }
+}
+
+/// Every case of the fuzz matrix, as `(name, benchmark, experiment,
+/// library)` with names like `tomcatv/pl/shmem`.
+pub fn matrix() -> Vec<(String, Benchmark, Experiment, Library)> {
+    let mut out = Vec::new();
+    for bench in suite() {
+        for exp in EXPERIMENTS {
+            for lib in Library::ALL {
+                let name = format!("{}/{}/{}", bench.name, exp.name(), library_tag(lib));
+                out.push((name, bench, exp, lib));
+            }
+        }
+    }
+    out
+}
+
+/// Runs one benchmark × experiment × library under one seeded fault plan
+/// in full (numeric) mode, checking the three fuzz invariants. Returns a
+/// message describing the first broken invariant.
+pub fn fuzz_case(
+    bench: &Benchmark,
+    exp: Experiment,
+    lib: Library,
+    seed: u64,
+) -> Result<(), String> {
+    let program = bench.program_with(FUZZ_N, FUZZ_ITERS);
+    let reference = SeqInterp::run(&program);
+    let opt = optimize(&program, &exp.config());
+    let machine = machine_for(lib);
+
+    // Invariant 3 (checked once per case, on the first seed): the inert
+    // plan is byte-identical to no plan at all.
+    if seed == 0 {
+        let plain = Simulator::new(
+            &opt.program,
+            SimConfig::full(machine.clone(), lib, FUZZ_PROCS),
+        )
+        .try_run()
+        .map_err(|e| format!("unfaulted run failed: {e}"))?;
+        let inert = Simulator::new(
+            &opt.program,
+            SimConfig::full(machine.clone(), lib, FUZZ_PROCS).with_faults(FaultPlan::none()),
+        )
+        .try_run()
+        .map_err(|e| format!("inert-plan run failed: {e}"))?;
+        if plain != inert {
+            return Err("inert fault plan changed the result".into());
+        }
+    }
+
+    // Invariant 2: the seeded run completes with no deadlock and no
+    // safety violation.
+    let r = Simulator::new(
+        &opt.program,
+        SimConfig::full(machine, lib, FUZZ_PROCS).with_faults(FaultPlan::seeded(seed)),
+    )
+    .try_run()
+    .map_err(|e| format!("seeded run failed: {e}"))?;
+
+    // Invariant 1: numerics still match the sequential reference.
+    for a in &program.arrays {
+        let want = reference
+            .array(&a.name)
+            .ok_or_else(|| format!("reference missing array {}", a.name))?;
+        let got = r
+            .array(&a.name)
+            .ok_or_else(|| format!("result missing array {}", a.name))?;
+        if want.len() != got.len() {
+            return Err(format!("array {}: length mismatch", a.name));
+        }
+        for (i, (x, y)) in want.iter().zip(got).enumerate() {
+            if !(x.is_finite() && y.is_finite()) || (x - y).abs() > 1e-9 * x.abs().max(1.0) {
+                return Err(format!("array {}[{i}]: {x} vs {y}", a.name));
+            }
+        }
+    }
+    for s in &program.scalars {
+        let x = reference
+            .scalar(&s.name)
+            .ok_or_else(|| format!("reference missing scalar {}", s.name))?;
+        let y = r
+            .scalar(&s.name)
+            .ok_or_else(|| format!("result missing scalar {}", s.name))?;
+        if (x - y).abs() > 1e-9 * x.abs().max(1.0) {
+            return Err(format!("scalar {}: {x} vs {y}", s.name));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the whole fuzz matrix under seeds `0..seeds`.
+pub fn run_fuzz(seeds: u64) -> Sweep {
+    let cases = matrix();
+    let names: Vec<String> = cases.iter().map(|(n, ..)| n.clone()).collect();
+    sweep(&names, seeds, |name, seed| {
+        let (_, bench, exp, lib) = cases
+            .iter()
+            .find(|(n, ..)| n == name)
+            .expect("name comes from the matrix");
+        fuzz_case(bench, *exp, *lib, seed)
+    })
+}
+
+/// Self-check: a deliberately broken binding — SHMEM with the DR-side
+/// readiness `synch` stripped — must be caught by the safety checker as a
+/// put-before-ready violation, not silently produce an answer.
+pub fn broken_binding_is_caught() -> Result<(), String> {
+    let bench = commopt_benchmarks::tomcatv();
+    let program = bench.program_with(FUZZ_N, FUZZ_ITERS);
+    let opt = optimize(&program, &Experiment::Pl.config());
+    let broken = Library::Shmem
+        .binding()
+        .with_action(CallKind::DR, Action::Noop);
+    match Simulator::new(
+        &opt.program,
+        SimConfig::full(MachineSpec::t3d(), Library::Shmem, FUZZ_PROCS).with_binding(broken),
+    )
+    .try_run()
+    {
+        Err(SimError::Safety(violations))
+            if violations
+                .iter()
+                .any(|v| matches!(v, SafetyViolation::PutBeforeReady { .. })) =>
+        {
+            Ok(())
+        }
+        Err(other) => Err(format!("expected put-before-ready, got: {other}")),
+        Ok(_) => Err("broken binding produced a result with no violation".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_combination() {
+        let m = matrix();
+        assert_eq!(m.len(), 4 * EXPERIMENTS.len() * Library::ALL.len());
+        assert!(m.iter().any(|(n, ..)| n == "tomcatv/pl/shmem"));
+        // Names are unique (they key the sweep's failure reports).
+        let mut names: Vec<&String> = m.iter().map(|(n, ..)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), m.len());
+    }
+
+    #[test]
+    fn one_case_passes_under_a_seeded_plan() {
+        let bench = commopt_benchmarks::tomcatv();
+        fuzz_case(&bench, Experiment::Pl, Library::Shmem, 1).unwrap();
+    }
+
+    #[test]
+    fn broken_binding_self_check_passes() {
+        broken_binding_is_caught().unwrap();
+    }
+}

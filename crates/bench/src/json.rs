@@ -2,6 +2,11 @@
 //! Chrome `trace_event` files the `trace` binary writes, so the test suite
 //! can validate exported traces without an external JSON dependency (the
 //! build must work offline).
+//!
+//! Malformed input never panics: every failure is a typed [`ParseError`]
+//! carrying the byte offset where parsing stopped, and nesting depth is
+//! bounded so adversarially deep documents fail cleanly instead of
+//! overflowing the stack.
 
 /// A parsed JSON value. Numbers are kept as `f64` (trace files carry only
 /// timestamps, durations, and small counts).
@@ -46,18 +51,49 @@ impl Json {
     }
 }
 
+/// Why (and where) a document failed to parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset into the input at which parsing stopped.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Deeper nesting than any legitimate trace file; recursion beyond it is
+/// rejected instead of risking a stack overflow.
+const MAX_DEPTH: u32 = 128;
+
 /// Parses a complete JSON document (trailing whitespace allowed, nothing
 /// else after the value).
-pub fn parse(s: &str) -> Result<Json, String> {
+pub fn parse(s: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
+        return Err(ParseError::at(p.pos, "trailing data after document"));
     }
     Ok(v)
 }
@@ -65,6 +101,7 @@ pub fn parse(s: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: u32,
 }
 
 impl Parser<'_> {
@@ -78,17 +115,27 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+            Err(ParseError::at(
+                self.pos,
+                format!("expected '{}'", c as char),
+            ))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError::at(
+                self.pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        let v = match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
@@ -96,20 +143,26 @@ impl Parser<'_> {
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected byte at {}", self.pos)),
-        }
+            Some(_) => Err(ParseError::at(self.pos, "unexpected byte")),
+            None => Err(ParseError::at(self.pos, "unexpected end of input")),
+        };
+        self.depth -= 1;
+        v
     }
 
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(ParseError::at(
+                self.pos,
+                format!("bad literal (expected '{word}')"),
+            ))
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         while matches!(
             self.peek(),
@@ -121,15 +174,15 @@ impl Parser<'_> {
             .ok()
             .and_then(|s| s.parse().ok())
             .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
+            .ok_or_else(|| ParseError::at(start, "bad number"))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(ParseError::at(self.pos, "unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -151,29 +204,37 @@ impl Parser<'_> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            // Surrogate pairs never appear in our traces.
+                                .ok_or_else(|| ParseError::at(self.pos, "bad \\u escape"))?;
+                            // Surrogate pairs never appear in our traces;
+                            // a lone surrogate maps to the replacement
+                            // character rather than failing.
                             out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(ParseError::at(self.pos, "bad escape")),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unchanged).
+                    // through unchanged). The input is a `&str`, so a
+                    // scalar always starts here.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| ParseError::at(self.pos, "invalid UTF-8"))?;
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(ParseError::at(self.pos, "unterminated string")),
+                    }
                 }
             }
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut out = Vec::new();
         self.skip_ws();
@@ -191,12 +252,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(out));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(ParseError::at(self.pos, "expected ',' or ']'")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut out = Vec::new();
         self.skip_ws();
@@ -219,7 +280,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(out));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(ParseError::at(self.pos, "expected ',' or '}'")),
             }
         }
     }
@@ -247,6 +308,32 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("[] x").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn errors_carry_the_byte_offset() {
+        let e = parse("[1, 2").unwrap_err();
+        assert_eq!(e.offset, 5, "{e}");
+        let e = parse("{\"a\" 1}").unwrap_err();
+        assert_eq!(e.offset, 5, "{e}");
+        let e = parse("[] x").unwrap_err();
+        assert_eq!(e.offset, 3, "{e}");
+        let e = parse(r#""abc"#).unwrap_err();
+        assert_eq!(e.offset, 4, "{e}");
+        // The rendered form leads with the offset for grep-ability.
+        assert!(e.to_string().starts_with("byte 4:"), "{e}");
+    }
+
+    #[test]
+    fn deep_nesting_fails_cleanly() {
+        // Far deeper than MAX_DEPTH: must return an error, not blow the
+        // stack.
+        let deep = "[".repeat(100_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // Nesting at a legitimate depth still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //! | `tables`          | Appendix A, Tables 1–4 |
 //! | `repro_all`       | everything above, teed into `results/` |
 //!
-//! This library holds the shared runner and formatting helpers.
+//! This library holds the shared runner and formatting helpers, plus the
+//! schedule-fuzz harness ([`fuzz`], driven by the `fuzz` binary) that
+//! re-checks every benchmark × binding under seeded fault plans.
 
+pub mod fuzz;
 pub mod json;
 pub mod report;
 

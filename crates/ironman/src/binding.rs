@@ -66,6 +66,20 @@ impl Binding {
     pub fn is_one_way(&self) -> bool {
         self.sr == Action::Put
     }
+
+    /// A copy of this binding with one call remapped — the hook the
+    /// fault-injection test harness uses to build deliberately *broken*
+    /// bindings (e.g. SHMEM with its DR-side `Sync` stripped) and assert
+    /// the simulator's safety checker catches them.
+    pub fn with_action(mut self, call: CallKind, action: Action) -> Binding {
+        match call {
+            CallKind::DR => self.dr = action,
+            CallKind::SR => self.sr = action,
+            CallKind::DN => self.dn = action,
+            CallKind::SV => self.sv = action,
+        }
+        self
+    }
 }
 
 /// The five communication libraries of the paper's experiments.
@@ -209,6 +223,19 @@ mod tests {
         assert_eq!(b.action(CallKind::SV), Action::Noop);
         assert!(b.is_one_way());
         assert!(!Library::Pvm.binding().is_one_way());
+    }
+
+    #[test]
+    fn with_action_remaps_exactly_one_call() {
+        let broken = Library::Shmem
+            .binding()
+            .with_action(CallKind::DR, Action::Noop);
+        assert_eq!(broken.action(CallKind::DR), Action::Noop);
+        assert_eq!(broken.action(CallKind::SR), Action::Put);
+        assert_eq!(broken.action(CallKind::DN), Action::Sync);
+        assert_eq!(broken.action(CallKind::SV), Action::Noop);
+        // The original binding is unchanged (value semantics).
+        assert_eq!(Library::Shmem.binding().action(CallKind::DR), Action::Sync);
     }
 
     #[test]

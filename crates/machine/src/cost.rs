@@ -72,6 +72,16 @@ impl CommCosts {
             + f64::from(posts) * self.post_recv_us
     }
 
+    /// Wire time of a message under a fault-injection scale `factor` — the
+    /// hook the simulator's fault layer uses to jitter network timing.
+    /// Jitter perturbs the calibrated Figure 3 cost multiplicatively, and
+    /// the result is clamped non-negative, so an adversarial factor can
+    /// stretch a schedule but never produce a message that arrives before
+    /// it was sent.
+    pub fn jittered_wire_us(&self, bytes: u64, factor: f64) -> f64 {
+        (self.wire_us(bytes) * factor).max(0.0)
+    }
+
     /// The message size at which combining two messages into one stops
     /// paying: where the per-byte CPU cost of a message equals its fixed
     /// overhead. Both study machines have this knee near 512 doubles
@@ -144,5 +154,57 @@ mod tests {
         c.send_per_byte_us = 0.0;
         c.recv_per_byte_us = 0.0;
         assert_eq!(c.combining_knee_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn exposed_overhead_of_zero_bytes_is_the_fixed_cost() {
+        let c = sample();
+        // No per-byte component: exactly send_init + recv_init.
+        assert!((c.exposed_overhead_us(0, 0, 0, 0) - 90.0).abs() < 1e-12);
+        // Extras still count with a zero-byte message.
+        let with_sync = CommCosts {
+            sync_us: 5.0,
+            sync_call_us: 1.0,
+            ..c
+        };
+        assert!((with_sync.exposed_overhead_us(0, 1, 0, 0) - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_boundary_splits_fixed_and_per_byte_cost() {
+        let c = sample();
+        let knee = c.combining_knee_bytes();
+        let per_byte = c.send_per_byte_us + c.recv_per_byte_us;
+        let fixed = c.send_init_us + c.recv_init_us;
+        // At the knee the per-byte cost equals the fixed overhead (within
+        // the integer truncation of the knee itself).
+        let at = knee as f64 * per_byte;
+        assert!((at - fixed).abs() <= per_byte + 1e-9, "{at} vs {fixed}");
+        // One byte below the knee, per-byte cost is strictly under the
+        // fixed cost; well above it, strictly over.
+        assert!((knee - 1) as f64 * per_byte < fixed);
+        assert!((knee + 2) as f64 * per_byte > fixed);
+    }
+
+    #[test]
+    fn knee_with_zero_fixed_cost_is_zero() {
+        let mut c = sample();
+        c.send_init_us = 0.0;
+        c.recv_init_us = 0.0;
+        assert_eq!(c.combining_knee_bytes(), 0);
+    }
+
+    #[test]
+    fn jittered_costs_stay_non_negative() {
+        let c = sample();
+        // Identity factor reproduces the calibrated cost exactly.
+        assert_eq!(c.jittered_wire_us(1000, 1.0), c.wire_us(1000));
+        // Inflation scales.
+        assert!((c.jittered_wire_us(1000, 1.5) - 45.0).abs() < 1e-12);
+        // Adversarial factors (zero, negative) clamp at zero instead of
+        // producing a message that arrives before it was sent.
+        assert_eq!(c.jittered_wire_us(1000, 0.0), 0.0);
+        assert_eq!(c.jittered_wire_us(1000, -3.0), 0.0);
+        assert_eq!(c.jittered_wire_us(0, -1.0), 0.0);
     }
 }

@@ -28,8 +28,11 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::darray::{Block, DistArray};
+use crate::error::{SimError, StuckCall};
 use crate::eval::{eval_run, BlockSource, BufPool, EvalCtx};
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::{ProcBreakdown, SimResult, TransferStats};
+use crate::safety::SafetyViolation;
 use crate::trace::{SpanKind, TraceEvent, TraceHandle, TraceSink};
 use commopt_ir::analysis::expr_flops;
 use commopt_ir::{
@@ -37,7 +40,7 @@ use commopt_ir::{
 };
 use commopt_ironman::{Action, Binding, Library};
 use commopt_machine::{BlockDist, CommCosts, MachineSpec, ProcGrid, ProcId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +56,15 @@ pub struct SimConfig {
     /// default) records nothing and changes no behavior — traced and
     /// untraced runs produce identical [`SimResult`]s.
     pub trace: Option<TraceHandle>,
+    /// Seeded fault-injection plan (see [`crate::faults`]). The default
+    /// inert plan draws no random numbers and changes no behavior — a run
+    /// with [`FaultPlan::none`] is identical to one without any plan.
+    pub faults: FaultPlan,
+    /// Overrides the library's Figure 5 binding — the hook the fault
+    /// harness uses to execute deliberately broken bindings (e.g. SHMEM
+    /// with its `Sync` stripped) against the safety checker. `None` uses
+    /// [`Library::binding`].
+    pub binding: Option<Binding>,
 }
 
 impl SimConfig {
@@ -64,6 +76,8 @@ impl SimConfig {
             nprocs,
             compute_data: false,
             trace: None,
+            faults: FaultPlan::none(),
+            binding: None,
         }
     }
 
@@ -75,12 +89,27 @@ impl SimConfig {
             nprocs,
             compute_data: true,
             trace: None,
+            faults: FaultPlan::none(),
+            binding: None,
         }
     }
 
     /// Installs a trace sink (see [`crate::trace`]).
     pub fn with_trace(mut self, sink: impl TraceSink + 'static) -> SimConfig {
         self.trace = Some(TraceHandle::new(sink));
+        self
+    }
+
+    /// Installs a seeded fault-injection plan (see [`crate::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
+        self.faults = plan;
+        self
+    }
+
+    /// Overrides the library's binding table — for executing adversarial
+    /// or deliberately broken bindings against the safety checker.
+    pub fn with_binding(mut self, binding: Binding) -> SimConfig {
+        self.binding = Some(binding);
         self
     }
 }
@@ -99,6 +128,11 @@ struct InFlight {
     /// Full mode: per receiving proc, the slabs to deposit at DN
     /// (array index, rect, row-major values) — snapshotted at SR.
     data: Vec<Vec<(usize, Rect, Vec<f64>)>>,
+    /// `true` once this instance's messages have all been retired by a DN
+    /// (or the instance never moved data). An SR that refills an
+    /// unretired instance is a safety violation; a DN that finds only a
+    /// retired instance with data pending is a deadlock.
+    retired: bool,
 }
 
 /// Geometry of one transfer instance under the current loop environment.
@@ -148,9 +182,11 @@ pub struct Simulator<'p> {
     env: LoopEnv,
     dists: Vec<BlockDist>,
     arrays: Vec<DistArray>,
-    inflight: HashMap<TransferId, InFlight>,
+    /// `BTreeMap` (not `HashMap`) so iteration order is deterministic —
+    /// the fault layer's reorder swaps scan it.
+    inflight: BTreeMap<TransferId, InFlight>,
     /// Per transfer: each proc's clock at its most recent DR.
-    dr_time: HashMap<TransferId, Vec<f64>>,
+    dr_time: BTreeMap<TransferId, Vec<f64>>,
     pool: BufPool,
     count_proc: ProcId,
     // metric accumulators (µs / counts)
@@ -169,12 +205,21 @@ pub struct Simulator<'p> {
     /// Scratch: bytes each proc moved during the current comm call, for
     /// trace events.
     span_bytes: Vec<u64>,
+    /// Fault-injection state; `Some` only when the plan is active, so the
+    /// inert plan draws no random numbers and perturbs nothing.
+    faults: Option<FaultState>,
+    /// Per transfer: whether the receiver side has posted readiness for
+    /// the next one-way put. Consumed by each put instance (see
+    /// [`crate::safety`]).
+    ready: BTreeMap<TransferId, bool>,
+    /// Safety violations observed so far; reported at end of run.
+    violations: Vec<SafetyViolation>,
 }
 
 impl<'p> Simulator<'p> {
     pub fn new(program: &'p Program, cfg: SimConfig) -> Simulator<'p> {
         let grid = ProcGrid::square(cfg.nprocs);
-        let binding = cfg.library.binding();
+        let binding = cfg.binding.unwrap_or_else(|| cfg.library.binding());
         let costs = *cfg.machine.costs(cfg.library);
         let ghosts = program.ghost_widths();
         let dists: Vec<BlockDist> = program
@@ -194,6 +239,10 @@ impl<'p> Simulator<'p> {
         };
         let scalars = program.scalars.iter().map(|s| s.init).collect();
         let n = grid.len();
+        let faults = cfg
+            .faults
+            .is_active()
+            .then(|| FaultState::new(cfg.faults, n));
         Simulator {
             program,
             grid,
@@ -204,8 +253,8 @@ impl<'p> Simulator<'p> {
             env: LoopEnv::new(),
             dists,
             arrays,
-            inflight: HashMap::new(),
-            dr_time: HashMap::new(),
+            inflight: BTreeMap::new(),
+            dr_time: BTreeMap::new(),
             pool: BufPool::default(),
             count_proc: grid.interior_proc(),
             dynamic_comm: 0,
@@ -218,14 +267,47 @@ impl<'p> Simulator<'p> {
             cats: vec![ProcBreakdown::default(); n],
             xfer: vec![TransferStats::default(); program.transfers.len()],
             span_bytes: vec![0; n],
+            faults,
+            ready: BTreeMap::new(),
+            violations: Vec::new(),
             cfg,
         }
     }
 
     /// Runs the program to completion and reports the results.
-    pub fn run(mut self) -> SimResult {
+    ///
+    /// Panics with the rendered [`SimError`] on a malformed plan — the
+    /// convenience wrapper for callers that only execute verified
+    /// programs. Use [`try_run`](Simulator::try_run) to handle errors.
+    pub fn run(self) -> SimResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Runs the program to completion, reporting deadlocks, safety
+    /// violations, and evaluation failures as typed errors instead of
+    /// panicking or hanging.
+    pub fn try_run(mut self) -> Result<SimResult, SimError> {
         let body = &self.program.body;
-        self.exec_block(body);
+        self.exec_block(body)?;
+        // End-of-run safety scan: every message put in flight must have
+        // been retired by a DN before the program ends.
+        for (tid, fl) in &self.inflight {
+            if fl.retired {
+                continue;
+            }
+            for (p, &b) in fl.recv_bytes.iter().enumerate() {
+                if b > 0 {
+                    self.violations.push(SafetyViolation::UnretiredRecv {
+                        transfer: *tid,
+                        receiver: p,
+                    });
+                }
+            }
+        }
+        if !self.violations.is_empty() {
+            return Err(SimError::Safety(std::mem::take(&mut self.violations)));
+        }
         let time_s = self.clocks.iter().copied().fold(0.0_f64, f64::max) / 1e6;
         let mut result = SimResult {
             time_s,
@@ -275,17 +357,18 @@ impl<'p> Simulator<'p> {
                     .insert(a.name.clone(), self.arrays[i].gather().1);
             }
         }
-        result
+        result.faults = self.faults.as_ref().map(|f| f.stats).unwrap_or_default();
+        Ok(result)
     }
 
-    fn exec_block(&mut self, block: &commopt_ir::Block) {
+    fn exec_block(&mut self, block: &commopt_ir::Block) -> Result<(), SimError> {
         for stmt in block.iter() {
             match stmt {
                 Stmt::Assign { region, lhs, rhs } => self.exec_assign(*region, lhs.index(), rhs),
-                Stmt::ScalarAssign { lhs, rhs } => self.exec_scalar(lhs.index(), rhs),
+                Stmt::ScalarAssign { lhs, rhs } => self.exec_scalar(lhs.index(), rhs)?,
                 Stmt::Repeat { count, body } => {
                     for _ in 0..*count {
-                        self.exec_block(body);
+                        self.exec_block(body)?;
                     }
                 }
                 Stmt::For {
@@ -304,14 +387,15 @@ impl<'p> Simulator<'p> {
                             break;
                         }
                         self.env.set(*var, i);
-                        self.exec_block(body);
+                        self.exec_block(body)?;
                         i += step;
                     }
                     self.env.pop();
                 }
-                Stmt::Comm { kind, transfer } => self.exec_comm(*kind, *transfer),
+                Stmt::Comm { kind, transfer } => self.exec_comm(*kind, *transfer)?,
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -330,6 +414,7 @@ impl<'p> Simulator<'p> {
             } else {
                 self.cfg.machine.stmt_overhead_us + local.count() as f64 * flops * flop_us
             };
+            let dt = self.fault_compute(p, dt);
             let t0 = self.clocks[p];
             self.clocks[p] += dt;
             self.cats[p].compute_s += dt;
@@ -387,26 +472,30 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn exec_scalar(&mut self, lhs: usize, rhs: &ScalarRhs) {
+    fn exec_scalar(&mut self, lhs: usize, rhs: &ScalarRhs) -> Result<(), SimError> {
         match rhs {
             ScalarRhs::Expr(e) => {
                 let dt = f64::from(expr_flops(e)) * self.cfg.machine.flop_us
                     + self.cfg.machine.guard_overhead_us;
-                for (p, c) in self.clocks.iter_mut().enumerate() {
+                let cp = self.count_proc;
+                for p in 0..self.grid.len() {
+                    let dt_p = self.fault_compute(p, dt);
                     if let Some(trace) = &self.cfg.trace {
                         trace.record(TraceEvent {
                             proc: p,
-                            start_us: *c,
-                            dur_us: dt,
+                            start_us: self.clocks[p],
+                            dur_us: dt_p,
                             kind: SpanKind::Scalar { scalar: lhs as u32 },
                             bytes: 0,
                         });
                     }
-                    *c += dt;
-                    self.cats[p].compute_s += dt;
+                    self.clocks[p] += dt_p;
+                    self.cats[p].compute_s += dt_p;
+                    if p == cp {
+                        self.compute_us += dt_p;
+                    }
                 }
-                self.compute_us += dt;
-                self.scalars[lhs] = eval_scalar(e, &self.scalars, &self.env);
+                self.scalars[lhs] = eval_scalar(e, &self.scalars, &self.env)?;
             }
             ScalarRhs::Reduce { op, region, expr } => {
                 let rect = region.eval(&self.env);
@@ -428,6 +517,7 @@ impl<'p> Simulator<'p> {
                     } else {
                         self.cfg.machine.stmt_overhead_us + local.count() as f64 * flops * flop_us
                     };
+                    let dt = self.fault_compute(p, dt);
                     self.clocks[p] += dt;
                     self.cats[p].compute_s += dt;
                     if p == self.count_proc {
@@ -475,13 +565,14 @@ impl<'p> Simulator<'p> {
                 self.scalars[lhs] = acc;
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Communication
     // ------------------------------------------------------------------
 
-    fn exec_comm(&mut self, kind: CallKind, tid: TransferId) {
+    fn exec_comm(&mut self, kind: CallKind, tid: TransferId) -> Result<(), SimError> {
         let cp = self.count_proc;
         let before = self.clocks[cp];
         if kind == CallKind::DN {
@@ -513,11 +604,11 @@ impl<'p> Simulator<'p> {
                 }
                 match kind {
                     CallKind::DR => self.do_sync_dr(tid),
-                    _ => self.do_sync_dn(tid),
+                    _ => self.do_sync_dn(tid, kind)?,
                 }
             }
-            Action::BlockingRecv => self.do_recv(tid, RecvKind::Blocking),
-            Action::WaitRecv => self.do_recv(tid, RecvKind::Wait),
+            Action::BlockingRecv => self.do_recv(tid, RecvKind::Blocking, kind)?,
+            Action::WaitRecv => self.do_recv(tid, RecvKind::Wait, kind)?,
             Action::WaitSend => self.do_wait_send(tid),
         }
         self.comm_us += self.clocks[cp] - before;
@@ -535,6 +626,7 @@ impl<'p> Simulator<'p> {
                 });
             }
         }
+        Ok(())
     }
 
     /// Computes the transfer's slab geometry under the current environment.
@@ -598,6 +690,7 @@ impl<'p> Simulator<'p> {
     /// (asynchronous: initiation only, injection by the co-processor).
     fn do_send(&mut self, tid: TransferId, is_async: bool) {
         let geom = self.geometry(tid);
+        self.check_overwrite(tid);
         let n = self.grid.len();
         let mut fl = InFlight {
             arrival: vec![f64::NEG_INFINITY; n],
@@ -605,6 +698,7 @@ impl<'p> Simulator<'p> {
             buf_free: vec![0.0; n],
             sent: vec![false; n],
             data: vec![Vec::new(); n],
+            retired: !geom.active(),
         };
         for p in 0..n {
             for &(reader, b) in &geom.outgoing[p] {
@@ -614,12 +708,13 @@ impl<'p> Simulator<'p> {
                 self.clocks[p] += self.costs.send_cpu_us(b);
                 self.cats[p].send_s += self.costs.send_cpu_us(b);
                 self.span_bytes[p] += b;
-                fl.arrival[reader] = self.clocks[p] + self.costs.wire_us(b);
+                fl.arrival[reader] = self.clocks[p] + self.wire_time(b);
                 fl.buf_free[p] = self.clocks[p];
                 let _ = is_async;
                 fl.sent[p] = true;
             }
         }
+        self.reorder(tid, &mut fl);
         if self.cfg.compute_data {
             self.snapshot(&geom, &mut fl);
         }
@@ -630,31 +725,51 @@ impl<'p> Simulator<'p> {
     /// having announced readiness at its DR-side `synch`.
     fn do_put(&mut self, tid: TransferId) {
         let geom = self.geometry(tid);
+        self.check_overwrite(tid);
         let n = self.grid.len();
         let dr = self
             .dr_time
             .get(&tid)
             .cloned()
             .unwrap_or_else(|| vec![0.0; n]);
+        // One-way safety: a put is only legal once the receiver announced
+        // readiness for *this* instance. Readiness is consumed here, so a
+        // stale `synch` from a previous iteration does not excuse a later
+        // put (see `crate::safety`).
+        let was_ready = if geom.active() {
+            self.ready.insert(tid, false) == Some(true)
+        } else {
+            true
+        };
         let mut fl = InFlight {
             arrival: vec![f64::NEG_INFINITY; n],
             recv_bytes: geom.bytes.clone(),
             buf_free: vec![0.0; n],
             sent: vec![false; n],
             data: vec![Vec::new(); n],
+            retired: !geom.active(),
         };
         for p in 0..n {
             for &(reader, b) in &geom.outgoing[p] {
+                if !was_ready {
+                    self.violations.push(SafetyViolation::PutBeforeReady {
+                        transfer: tid,
+                        sender: p,
+                        receiver: reader,
+                        at_us: self.clocks[p],
+                    });
+                }
                 let start = self.clocks[p].max(dr[reader]);
                 self.cats[p].wait_s += start - self.clocks[p];
                 self.cats[p].send_s += self.costs.send_cpu_us(b);
                 self.span_bytes[p] += b;
                 self.clocks[p] = start + self.costs.send_cpu_us(b);
-                fl.arrival[reader] = self.clocks[p] + self.costs.wire_us(b);
+                fl.arrival[reader] = self.clocks[p] + self.wire_time(b);
                 fl.buf_free[p] = self.clocks[p];
                 fl.sent[p] = true;
             }
         }
+        self.reorder(tid, &mut fl);
         if self.cfg.compute_data {
             self.snapshot(&geom, &mut fl);
         }
@@ -687,6 +802,7 @@ impl<'p> Simulator<'p> {
             dr[p] = self.clocks[p];
         }
         self.dr_time.insert(tid, dr);
+        self.ready.insert(tid, true);
     }
 
     /// DR under SHMEM `synch`: the heavyweight rendezvous of the prototype
@@ -698,6 +814,7 @@ impl<'p> Simulator<'p> {
     /// the call (guard cost only).
     fn do_sync_dr(&mut self, tid: TransferId) {
         let geom = self.geometry(tid);
+        self.ready.insert(tid, true);
         if !geom.active() {
             self.dr_time.insert(tid, self.clocks.clone());
             return;
@@ -723,12 +840,14 @@ impl<'p> Simulator<'p> {
         self.dr_time.insert(tid, dr);
     }
 
-    fn do_recv(&mut self, tid: TransferId, kind: RecvKind) {
-        let Some(fl) = self.inflight.get(&tid) else {
-            // DN with no preceding SR can only happen on a hand-built
-            // program; treat as a guard-only call.
-            return;
-        };
+    fn do_recv(&mut self, tid: TransferId, kind: RecvKind, call: CallKind) -> Result<(), SimError> {
+        if self.inflight.get(&tid).is_none_or(|fl| fl.retired) {
+            // DN with no live message in flight: harmless when this
+            // instance moves no data, a deadlock otherwise — a blocking
+            // receive for a message nobody will ever send.
+            return self.require_no_pending(tid, call);
+        }
+        let fl = &self.inflight[&tid];
         let n = self.grid.len();
         for p in 0..n {
             let b = fl.recv_bytes[p];
@@ -763,17 +882,23 @@ impl<'p> Simulator<'p> {
                 self.max_message_bytes = self.max_message_bytes.max(b);
             }
         }
-        self.deliver(tid);
+        self.retire(tid);
+        self.deliver(tid)
     }
 
     /// DN under SHMEM `synch`: completion of any incoming put, plus the
     /// synchronization call whenever the instance is active and the
     /// processor has a structural partner.
-    fn do_sync_dn(&mut self, tid: TransferId) {
+    fn do_sync_dn(&mut self, tid: TransferId, call: CallKind) -> Result<(), SimError> {
         let geom = self.geometry(tid);
         if !geom.active() {
-            self.deliver(tid);
-            return;
+            self.retire(tid);
+            return self.deliver(tid);
+        }
+        if self.inflight.get(&tid).is_none_or(|fl| fl.retired) {
+            // An active instance with no live put in flight: the DN-side
+            // `synch` would rendezvous with a partner that never arrives.
+            return self.require_no_pending(tid, call);
         }
         let n = self.grid.len();
         for p in 0..n {
@@ -804,26 +929,132 @@ impl<'p> Simulator<'p> {
             }
             self.clocks[p] = t;
         }
-        self.deliver(tid);
+        self.retire(tid);
+        self.deliver(tid)
+    }
+
+    /// Marks the transfer's current in-flight instance retired (all of
+    /// its messages consumed by a DN).
+    fn retire(&mut self, tid: TransferId) {
+        if let Some(fl) = self.inflight.get_mut(&tid) {
+            fl.retired = true;
+        }
     }
 
     /// Full mode: write the snapshotted slabs into each reader's ghosts.
-    fn deliver(&mut self, tid: TransferId) {
+    fn deliver(&mut self, tid: TransferId) -> Result<(), SimError> {
         if !self.cfg.compute_data {
-            return;
+            return Ok(());
         }
         let Some(fl) = self.inflight.get_mut(&tid) else {
-            return;
+            return Ok(());
         };
         let deliveries = std::mem::take(&mut fl.data);
+        let mut short = false;
         for (p, slabs) in deliveries.into_iter().enumerate() {
             for (a, rect, vals) in slabs {
                 let block = self.arrays[a].block_mut(p);
                 let mut it = vals.into_iter();
-                rect.for_each(|idx| {
-                    block.set(idx, it.next().expect("snapshot length matches rect"));
+                rect.for_each(|idx| match it.next() {
+                    Some(v) => block.set(idx, v),
+                    None => short = true,
                 });
             }
+        }
+        if short {
+            return Err(SimError::Eval(format!(
+                "transfer t{} snapshot shorter than its rect",
+                tid.0
+            )));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault hooks & safety checks
+    // ------------------------------------------------------------------
+
+    /// A compute duration for processor `p`, scaled by the fault plan
+    /// (identity — no draws, no float ops — when no plan is active).
+    fn fault_compute(&mut self, p: ProcId, dt: f64) -> f64 {
+        match &mut self.faults {
+            Some(f) => dt * f.compute_scale(p),
+            None => dt,
+        }
+    }
+
+    /// Wire time of one `bytes`-byte message: the calibrated Figure 3
+    /// cost, jittered and possibly dropped-and-retried under the fault
+    /// plan when one is active.
+    fn wire_time(&mut self, bytes: u64) -> f64 {
+        match &mut self.faults {
+            Some(f) => f.wire_us(&self.costs, bytes),
+            None => self.costs.wire_us(bytes),
+        }
+    }
+
+    /// Fault hook: with the plan's reorder probability per receiver, swap
+    /// this message's arrival time with another live in-flight message to
+    /// the same receiver — overtaking between independent transfers.
+    /// Deterministic given the seed: the candidate scan follows the
+    /// `BTreeMap`'s transfer-id order.
+    fn reorder(&mut self, tid: TransferId, fl: &mut InFlight) {
+        let Some(f) = &mut self.faults else { return };
+        for p in 0..fl.recv_bytes.len() {
+            if fl.recv_bytes[p] == 0 || !fl.arrival[p].is_finite() || !f.roll_reorder() {
+                continue;
+            }
+            let other = self.inflight.iter_mut().find(|(otid, o)| {
+                **otid != tid && !o.retired && o.recv_bytes[p] > 0 && o.arrival[p].is_finite()
+            });
+            if let Some((_, o)) = other {
+                std::mem::swap(&mut fl.arrival[p], &mut o.arrival[p]);
+                f.note_reordered();
+            }
+        }
+    }
+
+    /// SR-side overwrite check: every message of the transfer's previous
+    /// instance must have been retired by a DN before this SR refills the
+    /// receive buffers.
+    fn check_overwrite(&mut self, tid: TransferId) {
+        let at_us = self.clocks[self.count_proc];
+        let Some(prev) = self.inflight.get(&tid) else {
+            return;
+        };
+        if prev.retired {
+            return;
+        }
+        for (receiver, &b) in prev.recv_bytes.iter().enumerate() {
+            if b > 0 {
+                self.violations.push(SafetyViolation::RecvOverwrite {
+                    transfer: tid,
+                    receiver,
+                    at_us,
+                });
+            }
+        }
+    }
+
+    /// A DN executed with no live message in flight: legal only when the
+    /// transfer instance is structurally empty under the current
+    /// environment. Otherwise the processors expecting data are stuck
+    /// forever — reported as a typed deadlock naming each of them.
+    fn require_no_pending(&self, tid: TransferId, call: CallKind) -> Result<(), SimError> {
+        let geom = self.geometry(tid);
+        let stuck: Vec<StuckCall> = (0..self.grid.len())
+            .filter(|&p| geom.bytes[p] > 0)
+            .map(|p| StuckCall {
+                proc: p,
+                call,
+                transfer: tid,
+                at_us: self.clocks[p],
+            })
+            .collect();
+        if stuck.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Deadlock { stuck })
         }
     }
 
@@ -888,18 +1119,26 @@ fn first_array(e: &Expr) -> Option<usize> {
 }
 
 /// Evaluates a pure scalar expression (no array references).
-fn eval_scalar(e: &Expr, scalars: &[f64], env: &LoopEnv) -> f64 {
-    match e {
+fn eval_scalar(e: &Expr, scalars: &[f64], env: &LoopEnv) -> Result<f64, SimError> {
+    Ok(match e {
         Expr::Const(c) => *c,
         Expr::Scalar(s) => scalars[s.index()],
         Expr::LoopVar(v) => env.get(*v) as f64,
-        Expr::Index(_) => panic!("Index pseudo-array in scalar expression"),
-        Expr::Ref { .. } => panic!("array reference in scalar expression"),
-        Expr::Unary { op, a } => op.apply(eval_scalar(a, scalars, env)),
-        Expr::Binary { op, a, b } => {
-            op.apply(eval_scalar(a, scalars, env), eval_scalar(b, scalars, env))
+        Expr::Index(_) => {
+            return Err(SimError::Eval(
+                "Index pseudo-array in scalar expression".into(),
+            ))
         }
-    }
+        Expr::Ref { .. } => {
+            return Err(SimError::Eval(
+                "array reference in scalar expression".into(),
+            ))
+        }
+        Expr::Unary { op, a } => op.apply(eval_scalar(a, scalars, env)?),
+        Expr::Binary { op, a, b } => {
+            op.apply(eval_scalar(a, scalars, env)?, eval_scalar(b, scalars, env)?)
+        }
+    })
 }
 
 /// `a \ b` as disjoint rectangles (local copy of the distribution helper;
@@ -1201,6 +1440,182 @@ mod tests {
         assert_eq!(r.transfers.len(), opt.program.transfers.len());
         let total_exec: u64 = r.transfers.values().map(|s| s.executions).sum();
         assert_eq!(total_exec, r.dynamic_comm);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical() {
+        // The tentpole invariant: with the default (zeroed) plan the
+        // result is exactly — field for field, bit for bit — what a run
+        // without any plan produces.
+        let src = jacobi(16, 3);
+        for (name, cfg) in OptConfig::presets() {
+            let opt = optimize(&src, &cfg);
+            for (machine, lib) in [
+                (t3d(), Library::Pvm),
+                (t3d(), Library::Shmem),
+                (MachineSpec::paragon(), Library::NxAsync),
+            ] {
+                let plain =
+                    Simulator::new(&opt.program, SimConfig::full(machine.clone(), lib, 4)).run();
+                let with_plan = Simulator::new(
+                    &opt.program,
+                    SimConfig::full(machine, lib, 4).with_faults(FaultPlan::none()),
+                )
+                .run();
+                assert_eq!(plain, with_plan, "{name}/{lib:?}");
+                assert_eq!(with_plan.faults, crate::faults::FaultStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_faults_change_timing_but_not_numerics() {
+        let src = jacobi(12, 3);
+        let reference = crate::seq::SeqInterp::run(&src);
+        for (name, cfg) in OptConfig::presets() {
+            let opt = optimize(&src, &cfg);
+            for lib in [Library::Pvm, Library::Shmem] {
+                for seed in [1u64, 2, 3] {
+                    let r = Simulator::new(
+                        &opt.program,
+                        SimConfig::full(t3d(), lib, 4).with_faults(FaultPlan::seeded(seed)),
+                    )
+                    .try_run()
+                    .unwrap_or_else(|e| panic!("{name}/{lib:?}/seed{seed}: {e}"));
+                    // The perturbed schedule is still a legal execution:
+                    // numerics match the sequential reference exactly as
+                    // tightly as the unperturbed run does.
+                    let a_ref = reference.array("A").unwrap();
+                    let a_sim = r.array("A").unwrap();
+                    for (x, y) in a_ref.iter().zip(a_sim) {
+                        assert!(
+                            (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+                            "{name}/{lib:?}/seed{seed}: {x} vs {y}"
+                        );
+                    }
+                    // The plan verifiably did something to the schedule.
+                    assert!(
+                        r.faults.jittered_messages > 0,
+                        "{name}/{lib:?}/seed{seed}: no messages jittered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic() {
+        let src = jacobi(12, 2);
+        let opt = optimize(&src, &OptConfig::pl());
+        let run = || {
+            Simulator::new(
+                &opt.program,
+                SimConfig::full(t3d(), Library::Pvm, 4).with_faults(FaultPlan::seeded(7)),
+            )
+            .try_run()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn broken_shmem_binding_is_a_safety_violation() {
+        // SHMEM with its DR-side `synch` stripped: the puts land before
+        // any readiness was posted. The checker must catch this rather
+        // than silently producing an answer.
+        let src = jacobi(12, 2);
+        let opt = optimize(&src, &OptConfig::pl());
+        let broken = Library::Shmem
+            .binding()
+            .with_action(CallKind::DR, Action::Noop);
+        let err = Simulator::new(
+            &opt.program,
+            SimConfig::full(t3d(), Library::Shmem, 4).with_binding(broken),
+        )
+        .try_run()
+        .expect_err("stripped readiness sync must be flagged");
+        match err {
+            SimError::Safety(violations) => {
+                assert!(violations
+                    .iter()
+                    .any(|v| matches!(v, SafetyViolation::PutBeforeReady { .. })));
+            }
+            other => panic!("expected a safety violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stripped_sr_deadlocks_with_stuck_processors() {
+        // Remove every SR: the DNs block on messages nobody sends. The
+        // engine must report a typed deadlock, not hang or no-op.
+        let src = jacobi(12, 1);
+        let opt = optimize(&src, &OptConfig::pl());
+        let mut broken = opt.program.clone();
+        fn strip_sr(b: &mut commopt_ir::Block) {
+            b.0.retain(|s| {
+                !matches!(
+                    s,
+                    Stmt::Comm {
+                        kind: CallKind::SR,
+                        ..
+                    }
+                )
+            });
+            for s in b.0.iter_mut() {
+                if let Stmt::Repeat { body, .. } | Stmt::For { body, .. } = s {
+                    strip_sr(body);
+                }
+            }
+        }
+        strip_sr(&mut broken.body);
+        let err = Simulator::new(&broken, SimConfig::full(t3d(), Library::Pvm, 4))
+            .try_run()
+            .expect_err("receives without sends must deadlock");
+        match err {
+            SimError::Deadlock { stuck } => {
+                assert!(!stuck.is_empty());
+                for s in &stuck {
+                    assert_eq!(s.call, CallKind::DN);
+                }
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stripped_dn_reports_unretired_receives() {
+        // Remove every DN: messages are sent but never retired.
+        let src = jacobi(12, 1);
+        let opt = optimize(&src, &OptConfig::pl());
+        let mut broken = opt.program.clone();
+        fn strip_dn(b: &mut commopt_ir::Block) {
+            b.0.retain(|s| {
+                !matches!(
+                    s,
+                    Stmt::Comm {
+                        kind: CallKind::DN,
+                        ..
+                    }
+                )
+            });
+            for s in b.0.iter_mut() {
+                if let Stmt::Repeat { body, .. } | Stmt::For { body, .. } = s {
+                    strip_dn(body);
+                }
+            }
+        }
+        strip_dn(&mut broken.body);
+        let err = Simulator::new(&broken, SimConfig::full(t3d(), Library::Pvm, 4))
+            .try_run()
+            .expect_err("unretired messages must be flagged");
+        match err {
+            SimError::Safety(violations) => {
+                assert!(violations
+                    .iter()
+                    .any(|v| matches!(v, SafetyViolation::UnretiredRecv { .. })));
+            }
+            other => panic!("expected a safety violation, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Typed simulation errors.
+//!
+//! The engine never hangs and never panics on a malformed communication
+//! plan: a blocking receive that can never be satisfied is reported as a
+//! [`SimError::Deadlock`] carrying each stuck processor's pending IRONMAN
+//! call and transfer id, and timing-discipline violations surface as
+//! [`SimError::Safety`]. [`Simulator::try_run`](crate::Simulator::try_run)
+//! returns these; the infallible [`run`](crate::Simulator::run) wrapper
+//! panics with the rendered error for callers that only ever execute
+//! verified plans.
+
+use crate::safety::SafetyViolation;
+use commopt_ir::{CallKind, TransferId};
+
+/// One processor blocked at an IRONMAN call that can never complete.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StuckCall {
+    /// The blocked processor.
+    pub proc: usize,
+    /// The pending IRONMAN call (DN for a receive that has no message in
+    /// flight, for example).
+    pub call: CallKind,
+    /// The transfer the call belongs to.
+    pub transfer: TransferId,
+    /// The processor's clock when it blocked, µs.
+    pub at_us: f64,
+}
+
+impl std::fmt::Display for StuckCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p{} stuck at {} t{} ({:.3}us)",
+            self.proc,
+            self.call.name(),
+            self.transfer.0,
+            self.at_us
+        )
+    }
+}
+
+/// Why a simulation could not produce a result.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SimError {
+    /// No processor can make progress: at least one processor is blocked
+    /// on a communication event that will never occur (a DN with no
+    /// matching message in flight). The list names every stuck processor
+    /// with its pending call and transfer.
+    Deadlock { stuck: Vec<StuckCall> },
+    /// The communication-safety checker found timing-discipline
+    /// violations (see [`crate::safety`]).
+    Safety(Vec<SafetyViolation>),
+    /// A malformed program reached the evaluator (e.g. an array reference
+    /// inside a scalar expression, which validation normally rejects).
+    Eval(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { stuck } => {
+                write!(f, "deadlock: no event can make progress (")?;
+                for (i, s) in stuck.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                f.write_str(")")
+            }
+            SimError::Safety(violations) => {
+                write!(
+                    f,
+                    "{} communication-safety violation(s): ",
+                    violations.len()
+                )?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            SimError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_renders_every_stuck_processor() {
+        let e = SimError::Deadlock {
+            stuck: vec![
+                StuckCall {
+                    proc: 0,
+                    call: CallKind::DN,
+                    transfer: TransferId(2),
+                    at_us: 1.0,
+                },
+                StuckCall {
+                    proc: 3,
+                    call: CallKind::DN,
+                    transfer: TransferId(2),
+                    at_us: 4.0,
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(
+            s.contains("p0") && s.contains("p3") && s.contains("t2"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn safety_renders_count_and_details() {
+        let e = SimError::Safety(vec![SafetyViolation::UnretiredRecv {
+            transfer: TransferId(1),
+            receiver: 2,
+        }]);
+        let s = e.to_string();
+        assert!(s.contains("1 communication-safety violation"), "{s}");
+        assert!(s.contains("t1"), "{s}");
+    }
+
+    #[test]
+    fn eval_error_displays() {
+        let e = SimError::Eval("bad".into());
+        assert_eq!(e.to_string(), "evaluation error: bad");
+    }
+}

@@ -1,0 +1,313 @@
+//! Seeded fault injection: adversarial schedule perturbation.
+//!
+//! The simulator's default schedule is benign and deterministic — every
+//! run of a program sees the same relative timing between processors. That
+//! is exactly one point in the space of legal executions, and the paper's
+//! correctness claim (Figure 5: the optimized program is correct under
+//! *every* IRONMAN binding) quantifies over all of them. A [`FaultPlan`]
+//! perturbs the schedule while preserving the program's call order on each
+//! processor:
+//!
+//! * **wire jitter** — every message's network time is inflated by an
+//!   independent random factor, shifting arrival times relative to the
+//!   receivers' compute;
+//! * **message reordering** — with some probability an injected message
+//!   swaps arrival times with another message already in flight to the
+//!   same receiver, modelling overtaking in the network;
+//! * **compute slowdown/jitter** — each processor gets a static slowdown
+//!   factor (a "slow node") plus optional per-statement noise, skewing the
+//!   lockstep clocks apart;
+//! * **dropped deliveries** — a message can be dropped and redelivered up
+//!   to [`FaultPlan::max_retries`] times, each retry paying the wire time
+//!   again plus a configurable backoff.
+//!
+//! Jitter is applied *around* the Figure 3 cost model, never instead of
+//! it: a perturbed cost is the calibrated cost scaled by a factor ≥ 1, so
+//! the machine model's orderings (Figure 6) are preserved in expectation.
+//! Numerical results are unaffected by construction — data movement is
+//! keyed to the program's call order, which fault plans never change — so
+//! the schedule-fuzz driver can assert seeded runs still reproduce the
+//! sequential reference while the [`safety`](crate::safety) checker
+//! verifies the timing of every transfer stayed legal.
+//!
+//! The plan is fully deterministic: the same seed produces the same
+//! perturbations on every run, so a failing seed is a complete
+//! reproduction recipe. A zeroed plan ([`FaultPlan::none`]) draws no
+//! random numbers and changes no behavior: the result is identical to a
+//! run without any plan installed.
+
+use commopt_machine::CommCosts;
+
+/// A seeded schedule-perturbation plan, installed with
+/// [`SimConfig::with_faults`](crate::SimConfig::with_faults).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultPlan {
+    /// Seed for the plan's deterministic random stream.
+    pub seed: u64,
+    /// Maximum fractional wire-time inflation per message: each message's
+    /// network time is scaled by `1 + U[0, wire_jitter]`. 0 disables.
+    pub wire_jitter: f64,
+    /// Maximum static per-processor compute slowdown: each processor's
+    /// compute costs are scaled by a factor drawn once from
+    /// `1 + U[0, compute_slowdown]`. 0 disables.
+    pub compute_slowdown: f64,
+    /// Maximum per-statement compute noise, applied on top of the static
+    /// slowdown: `1 + U[0, compute_jitter]` per statement per processor.
+    /// 0 disables.
+    pub compute_jitter: f64,
+    /// Probability an injected message swaps arrival times with another
+    /// message already in flight to the same receiver. 0 disables.
+    pub reorder_prob: f64,
+    /// Probability a message is dropped on first transmission and must be
+    /// redelivered. 0 disables.
+    pub drop_prob: f64,
+    /// Maximum redelivery attempts for a dropped message (the final
+    /// attempt always succeeds — a fault plan delays, it never loses data
+    /// outright, so every legal program still terminates).
+    pub max_retries: u32,
+    /// Extra delay per redelivery attempt, µs (sender backoff).
+    pub retry_backoff_us: f64,
+}
+
+impl FaultPlan {
+    /// The inert plan: no perturbation, no random draws. A simulation
+    /// with this plan is identical to one without any plan installed.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            wire_jitter: 0.0,
+            compute_slowdown: 0.0,
+            compute_jitter: 0.0,
+            reorder_prob: 0.0,
+            drop_prob: 0.0,
+            max_retries: 0,
+            retry_backoff_us: 0.0,
+        }
+    }
+
+    /// A moderately adversarial plan: every fault class enabled at rates
+    /// that meaningfully shuffle the schedule without drowning the run in
+    /// retries. The standard plan of the schedule-fuzz driver.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            wire_jitter: 0.5,
+            compute_slowdown: 0.25,
+            compute_jitter: 0.1,
+            reorder_prob: 0.25,
+            drop_prob: 0.05,
+            max_retries: 3,
+            retry_backoff_us: 50.0,
+        }
+    }
+
+    /// `true` when any fault class is enabled. Inactive plans cost
+    /// nothing and change nothing.
+    pub fn is_active(&self) -> bool {
+        self.wire_jitter > 0.0
+            || self.compute_slowdown > 0.0
+            || self.compute_jitter > 0.0
+            || self.reorder_prob > 0.0
+            || self.drop_prob > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+/// What a fault plan actually did during a run (all zeros without an
+/// active plan).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FaultStats {
+    /// Messages whose wire time was jittered.
+    pub jittered_messages: u64,
+    /// Messages dropped at least once before delivery.
+    pub dropped_messages: u64,
+    /// Total redelivery attempts across all dropped messages.
+    pub retries: u64,
+    /// Messages that swapped arrival order with another in-flight message.
+    pub reordered_messages: u64,
+}
+
+/// A private SplitMix64 stream. Deliberately self-contained: `commopt-sim`
+/// must not depend on the test-support crate, and the fault stream must
+/// stay bit-stable even if test utilities evolve.
+#[derive(Clone, Debug)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> FaultRng {
+        FaultRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.f64() < p
+    }
+}
+
+/// Live fault-injection state: the plan, its random stream, the static
+/// per-processor slowdown factors, and the accounting.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// Static compute slowdown per processor, drawn once at construction.
+    proc_factor: Vec<f64>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, nprocs: usize) -> FaultState {
+        let mut rng = FaultRng::new(plan.seed);
+        let proc_factor = (0..nprocs)
+            .map(|_| 1.0 + rng.f64() * plan.compute_slowdown)
+            .collect();
+        FaultState {
+            plan,
+            rng,
+            proc_factor,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Scales one processor's compute cost for one statement.
+    pub(crate) fn compute_scale(&mut self, p: usize) -> f64 {
+        let noise = if self.plan.compute_jitter > 0.0 {
+            1.0 + self.rng.f64() * self.plan.compute_jitter
+        } else {
+            1.0
+        };
+        self.proc_factor[p] * noise
+    }
+
+    /// The perturbed wire time of one message of `bytes`: jittered via the
+    /// machine model's [`CommCosts::jittered_wire_us`] hook, plus the full
+    /// wire time and backoff again for every redelivery of a dropped
+    /// message.
+    pub(crate) fn wire_us(&mut self, costs: &CommCosts, bytes: u64) -> f64 {
+        let mut factor = 1.0;
+        if self.plan.wire_jitter > 0.0 {
+            factor += self.rng.f64() * self.plan.wire_jitter;
+            self.stats.jittered_messages += 1;
+        }
+        let mut wire = costs.jittered_wire_us(bytes, factor);
+        if self.rng.chance(self.plan.drop_prob) {
+            let mut attempts = 1u32;
+            while attempts < self.plan.max_retries && self.rng.chance(self.plan.drop_prob) {
+                attempts += 1;
+            }
+            self.stats.dropped_messages += 1;
+            self.stats.retries += u64::from(attempts);
+            wire += f64::from(attempts) * (costs.wire_us(bytes) + self.plan.retry_backoff_us);
+        }
+        wire
+    }
+
+    /// Rolls whether the next injected message overtakes (swaps arrival
+    /// with) another in-flight message.
+    pub(crate) fn roll_reorder(&mut self) -> bool {
+        self.rng.chance(self.plan.reorder_prob)
+    }
+
+    pub(crate) fn note_reordered(&mut self) {
+        self.stats.reordered_messages += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CommCosts {
+        CommCosts {
+            send_init_us: 40.0,
+            send_per_byte_us: 0.01,
+            recv_init_us: 50.0,
+            recv_per_byte_us: 0.01,
+            post_recv_us: 10.0,
+            wait_us: 12.0,
+            sync_us: 0.0,
+            sync_call_us: 0.0,
+            latency_us: 20.0,
+            bandwidth_mb_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn inert_plan_is_inactive_and_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+        assert!(FaultPlan::seeded(1).is_active());
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let mut a = FaultState::new(FaultPlan::seeded(9), 4);
+        let mut b = FaultState::new(FaultPlan::seeded(9), 4);
+        for _ in 0..100 {
+            assert_eq!(a.wire_us(&costs(), 256), b.wire_us(&costs(), 256));
+            assert_eq!(a.compute_scale(2), b.compute_scale(2));
+            assert_eq!(a.roll_reorder(), b.roll_reorder());
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn jitter_only_inflates() {
+        let base = costs().wire_us(512);
+        let mut f = FaultState::new(FaultPlan::seeded(3), 2);
+        for _ in 0..200 {
+            assert!(f.wire_us(&costs(), 512) >= base - 1e-12);
+        }
+        for p in 0..2 {
+            for _ in 0..50 {
+                assert!(f.compute_scale(p) >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn drops_are_bounded_by_max_retries() {
+        let plan = FaultPlan {
+            drop_prob: 1.0, // always drops; retries capped
+            max_retries: 3,
+            retry_backoff_us: 10.0,
+            ..FaultPlan::none()
+        };
+        let mut f = FaultState::new(plan, 1);
+        let w = f.wire_us(&costs(), 0);
+        // latency 20 + 3 retries * (20 + 10 backoff) = 110.
+        assert!((w - 110.0).abs() < 1e-9, "w = {w}");
+        assert_eq!(f.stats.dropped_messages, 1);
+        assert_eq!(f.stats.retries, 3);
+    }
+
+    #[test]
+    fn inactive_plan_draws_nothing() {
+        let mut f = FaultState::new(FaultPlan::none(), 2);
+        assert_eq!(f.compute_scale(0), 1.0);
+        assert_eq!(f.wire_us(&costs(), 64), costs().wire_us(64));
+        assert!(!f.roll_reorder());
+        assert_eq!(f.stats, FaultStats::default());
+    }
+}

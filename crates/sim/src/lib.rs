@@ -31,17 +31,38 @@
 //! processor waits (message arrival, pairwise synchronization, reductions)
 //! are resolved against the partners' clocks at the matching statement —
 //! a deterministic, reproducible discrete-event model.
+//!
+//! ## Robustness
+//!
+//! The engine never hangs and never panics on a malformed communication
+//! plan. [`Simulator::try_run`] reports typed [`SimError`]s: a blocking
+//! receive that can never be satisfied is a [`SimError::Deadlock`] naming
+//! every stuck processor with its pending IRONMAN call and transfer id,
+//! and the always-on [`safety`] checker reports timing-discipline
+//! violations (one-way puts before readiness, receive-buffer overwrites,
+//! messages never retired) as [`SimError::Safety`]. A seeded [`faults`]
+//! plan perturbs the schedule adversarially — wire jitter, message
+//! reordering, slow processors, dropped-and-retried deliveries — while
+//! numerics stay exactly reproducible, which the schedule-fuzz driver in
+//! `commopt-bench` exploits to check every benchmark × binding against
+//! the sequential reference under many perturbed schedules.
 
 pub mod darray;
 pub mod engine;
+pub mod error;
 pub mod eval;
+pub mod faults;
 pub mod metrics;
+pub mod safety;
 pub mod seq;
 pub mod trace;
 
 pub use darray::{Block, DistArray};
 pub use engine::{SimConfig, Simulator};
+pub use error::{SimError, StuckCall};
+pub use faults::{FaultPlan, FaultStats};
 pub use metrics::{ProcBreakdown, SimResult, TransferStats};
+pub use safety::SafetyViolation;
 pub use seq::SeqInterp;
 pub use trace::{chrome_trace, Recorder, SpanKind, TraceEvent, TraceHandle, TraceSink};
 
@@ -56,8 +77,8 @@ pub fn simulate(
     machine: &MachineSpec,
     library: Library,
     nprocs: usize,
-) -> SimResult {
-    Simulator::new(program, SimConfig::timing(machine.clone(), library, nprocs)).run()
+) -> Result<SimResult, SimError> {
+    Simulator::new(program, SimConfig::timing(machine.clone(), library, nprocs)).try_run()
 }
 
 /// Convenience: full simulation including distributed numerics.
@@ -66,6 +87,6 @@ pub fn simulate_full(
     machine: &MachineSpec,
     library: Library,
     nprocs: usize,
-) -> SimResult {
-    Simulator::new(program, SimConfig::full(machine.clone(), library, nprocs)).run()
+) -> Result<SimResult, SimError> {
+    Simulator::new(program, SimConfig::full(machine.clone(), library, nprocs)).try_run()
 }

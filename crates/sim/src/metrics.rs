@@ -1,5 +1,6 @@
 //! Simulation outputs.
 
+use crate::faults::FaultStats;
 use std::collections::BTreeMap;
 
 /// Where one processor's simulated time went, in seconds.
@@ -84,6 +85,9 @@ pub struct SimResult {
     pub scalars: BTreeMap<String, f64>,
     /// Gathered final arrays by name (full mode only).
     pub arrays: BTreeMap<String, Vec<f64>>,
+    /// What the fault plan actually did (all zeros without an active
+    /// plan — see [`crate::faults`]).
+    pub faults: FaultStats,
 }
 
 impl SimResult {

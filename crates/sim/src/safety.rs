@@ -1,0 +1,139 @@
+//! Runtime communication-safety checking.
+//!
+//! The paper's Figure 5 claim is that the optimizer's DR/SR/DN/SV
+//! placement is correct under *every* binding — including the SHMEM
+//! one-way `put`, which deposits directly into the receiver's memory and
+//! is only safe once the receiver's DR-side `synch` has announced that
+//! the target buffer is ready. The simulator itself cannot show the
+//! corruption an unsafe put would cause on real hardware (its data
+//! movement is keyed to statement order, which is always well-defined),
+//! so the engine instead *checks* the timing discipline directly while it
+//! executes:
+//!
+//! * no one-way `Put` may execute before its partner posted readiness
+//!   ([`SafetyViolation::PutBeforeReady`]) — readiness is consumed per
+//!   transfer instance, so a stale `synch` from a previous iteration does
+//!   not excuse a later put;
+//! * no SR may refill a transfer's receive buffers while a previous
+//!   instance's data is still waiting to be retired at DN
+//!   ([`SafetyViolation::RecvOverwrite`]);
+//! * every message put in flight must eventually be retired by a DN
+//!   before the program ends ([`SafetyViolation::UnretiredRecv`]).
+//!
+//! Checking is always on and purely observational — it never changes
+//! clocks or results. Violations are collected during the run and
+//! reported at the end as [`SimError::Safety`](crate::SimError::Safety),
+//! so a deliberately broken binding (e.g. SHMEM with its `Sync` stripped)
+//! fails loudly as a safety error instead of silently producing an answer
+//! whose correctness the simulator cannot vouch for.
+
+use commopt_ir::TransferId;
+
+/// One detected violation of the communication-safety discipline.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SafetyViolation {
+    /// A one-way put was injected before the receiver posted readiness
+    /// for this transfer instance (no DR-side `synch`/post since the
+    /// previous put).
+    PutBeforeReady {
+        transfer: TransferId,
+        sender: usize,
+        receiver: usize,
+        /// The sender's clock when the unsafe put was injected, µs.
+        at_us: f64,
+    },
+    /// An SR refilled this transfer's receive buffer while the previous
+    /// instance's message had not yet been retired by a DN.
+    RecvOverwrite {
+        transfer: TransferId,
+        /// The receiver whose pending message was overwritten.
+        receiver: usize,
+        /// The overwriting SR's time on the counting clock, µs.
+        at_us: f64,
+    },
+    /// A message was still in flight (sent but never retired by a DN)
+    /// when the program ended.
+    UnretiredRecv {
+        transfer: TransferId,
+        receiver: usize,
+    },
+}
+
+impl SafetyViolation {
+    /// The transfer the violation belongs to.
+    pub fn transfer(&self) -> TransferId {
+        match self {
+            SafetyViolation::PutBeforeReady { transfer, .. }
+            | SafetyViolation::RecvOverwrite { transfer, .. }
+            | SafetyViolation::UnretiredRecv { transfer, .. } => *transfer,
+        }
+    }
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyViolation::PutBeforeReady {
+                transfer,
+                sender,
+                receiver,
+                at_us,
+            } => write!(
+                f,
+                "t{}: put from p{sender} to p{receiver} at {at_us:.3}us \
+                 before the receiver posted readiness",
+                transfer.0
+            ),
+            SafetyViolation::RecvOverwrite {
+                transfer,
+                receiver,
+                at_us,
+            } => write!(
+                f,
+                "t{}: SR at {at_us:.3}us overwrites p{receiver}'s \
+                 unretired receive buffer",
+                transfer.0
+            ),
+            SafetyViolation::UnretiredRecv { transfer, receiver } => write!(
+                f,
+                "t{}: message to p{receiver} was never retired by a DN",
+                transfer.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_render_transfer_and_processors() {
+        let v = SafetyViolation::PutBeforeReady {
+            transfer: TransferId(3),
+            sender: 1,
+            receiver: 2,
+            at_us: 12.5,
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("t3") && s.contains("p1") && s.contains("p2"),
+            "{s}"
+        );
+        assert_eq!(v.transfer(), TransferId(3));
+
+        let o = SafetyViolation::RecvOverwrite {
+            transfer: TransferId(0),
+            receiver: 7,
+            at_us: 1.0,
+        };
+        assert!(o.to_string().contains("p7"));
+
+        let u = SafetyViolation::UnretiredRecv {
+            transfer: TransferId(9),
+            receiver: 0,
+        };
+        assert!(u.to_string().contains("never retired"));
+        assert_eq!(u.transfer(), TransferId(9));
+    }
+}

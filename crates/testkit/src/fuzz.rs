@@ -1,0 +1,137 @@
+//! A sweep driver for fuzz matrices.
+//!
+//! Where [`cases`](crate::cases) stops at the first failing seed, a fuzz
+//! sweep runs a whole matrix of named cases to completion and collects
+//! *every* failure, so one run of the schedule-fuzz harness reports the
+//! complete set of broken benchmark × binding × seed combinations instead
+//! of the first one. Each failure carries the case name and seed — a
+//! complete, deterministic reproduction recipe.
+
+/// One failed case of a sweep.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Failure {
+    /// The case's display name (e.g. `"jacobi/pl/SHMEM"`).
+    pub case: String,
+    /// The seed the case failed under.
+    pub seed: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [seed {}]: {}", self.case, self.seed, self.message)
+    }
+}
+
+/// The outcome of a whole sweep.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Sweep {
+    /// Total cases executed (passing and failing).
+    pub cases: u64,
+    /// Every failure, in execution order.
+    pub failures: Vec<Failure>,
+}
+
+impl Sweep {
+    /// `true` when every case passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A human-readable report: one summary line, then one line per
+    /// failure.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{} case(s), {} failure(s)\n",
+            self.cases,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!("  FAIL {f}\n"));
+        }
+        out
+    }
+}
+
+/// Runs `run` over the cross product of `names` × seeds `0..seeds`,
+/// collecting failures. `run` returns `Ok(())` for a pass and a message
+/// for a failure; panics are caught and reported as failures too, so a
+/// crashing case does not end the sweep.
+pub fn sweep<N: AsRef<str> + std::panic::RefUnwindSafe>(
+    names: &[N],
+    seeds: u64,
+    run: impl Fn(&str, u64) -> Result<(), String> + std::panic::RefUnwindSafe,
+) -> Sweep {
+    let mut out = Sweep::default();
+    for name in names {
+        for seed in 0..seeds {
+            out.cases += 1;
+            let result =
+                std::panic::catch_unwind(|| run(name.as_ref(), seed)).unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("panicked");
+                    Err(format!("panic: {msg}"))
+                });
+            if let Err(message) = result {
+                out.failures.push(Failure {
+                    case: name.as_ref().to_string(),
+                    seed,
+                    message,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_collects_all_failures() {
+        let s = sweep(&["a", "b"], 3, |name, seed| {
+            if name == "b" && seed == 1 {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(s.cases, 6);
+        assert_eq!(s.failures.len(), 1);
+        assert!(!s.ok());
+        assert_eq!(s.failures[0].case, "b");
+        assert_eq!(s.failures[0].seed, 1);
+        assert!(
+            s.report().contains("FAIL b [seed 1]: boom"),
+            "{}",
+            s.report()
+        );
+    }
+
+    #[test]
+    fn sweep_catches_panics_and_continues() {
+        let s = sweep(&["p", "q"], 2, |name, seed| {
+            if name == "p" && seed == 0 {
+                panic!("exploded");
+            }
+            let _ = seed;
+            Ok(())
+        });
+        assert_eq!(s.cases, 4);
+        assert_eq!(s.failures.len(), 1);
+        assert!(s.failures[0].message.contains("exploded"));
+    }
+
+    #[test]
+    fn clean_sweep_is_ok() {
+        let s = sweep(&["x"], 4, |_, _| Ok(()));
+        assert!(s.ok());
+        assert_eq!(s.cases, 4);
+        assert!(s.report().starts_with("4 case(s), 0 failure(s)"));
+    }
+}

@@ -8,11 +8,16 @@
 //!   usual convenience samplers;
 //! * [`cases`] — a seeded case runner that executes a closure over `n`
 //!   independent seeds and, on failure, reports the seed so the case can be
-//!   replayed in isolation with [`Rng::new`].
+//!   replayed in isolation with [`Rng::new`];
+//! * [`fuzz`] — a sweep driver that runs a matrix of named cases,
+//!   collecting every failure (instead of stopping at the first) into a
+//!   replayable report.
 //!
 //! Generation is deterministic: the same seed always produces the same
 //! values, on every platform, so a failure message's seed is a complete
 //! reproduction recipe.
+
+pub mod fuzz;
 
 /// A deterministic SplitMix64 PRNG.
 ///
@@ -62,6 +67,17 @@ impl Rng {
     /// A uniform `u32` in `lo..=hi`.
     pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
         self.i64(lo as i64, hi as i64) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi})");
+        lo + self.f64() * (hi - lo)
     }
 
     /// A fair coin.
