@@ -1,0 +1,80 @@
+//! Compare two perf snapshots (see the `perf` binary) and gate on
+//! regressions: counts must match exactly, simulated times and link
+//! utilizations may drift within `--threshold` (default 10%), optimizer
+//! wall-clock is informational. Exits nonzero when any metric moves past
+//! its threshold — the CI perf-gate invocation:
+//!
+//! ```text
+//! cargo run --release -p commopt-bench --bin perfdiff -- \
+//!     results/BENCH_baseline.json results/BENCH_new.json --threshold 10
+//! ```
+
+use commopt_bench::perf::{diff, from_json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: perfdiff BASELINE.json NEW.json [--threshold PCT]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(regressed) => {
+            if regressed {
+                eprintln!("perfdiff: REGRESSION");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("perfdiff: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold_pct = 10.0f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(false);
+            }
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!("expected 2 snapshot paths, got {}", paths.len()));
+    }
+    if !(0.0..=100.0).contains(&threshold_pct) {
+        return Err(format!("--threshold must be 0..=100, got {threshold_pct}"));
+    }
+
+    let read = |p: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        from_json(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let old = read(&paths[0])?;
+    let new = read(&paths[1])?;
+    println!(
+        "baseline: {} ({} mode, rev {})",
+        paths[0], old.mode, old.rev
+    );
+    println!(
+        "current:  {} ({} mode, rev {})",
+        paths[1], new.mode, new.rev
+    );
+    let report = diff(&old, &new, threshold_pct / 100.0)?;
+    print!("{}", report.render());
+    Ok(report.regressed())
+}

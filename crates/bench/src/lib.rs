@@ -17,10 +17,15 @@
 //!
 //! This library holds the shared runner and formatting helpers, plus the
 //! schedule-fuzz harness ([`fuzz`], driven by the `fuzz` binary) that
-//! re-checks every benchmark × binding under seeded fault plans.
+//! re-checks every benchmark × binding under seeded fault plans, and the
+//! [`perf`] snapshot machinery (driven by the `perf` and `perfdiff`
+//! binaries): versioned `BENCH_<rev>.json` documents capturing every
+//! benchmark × experiment × machine with deep metrics, diffed against a
+//! committed baseline as CI's performance regression gate.
 
 pub mod fuzz;
 pub mod json;
+pub mod perf;
 pub mod report;
 
 use commopt_benchmarks::{Benchmark, Experiment};

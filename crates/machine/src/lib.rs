@@ -10,6 +10,10 @@
 //! * [`dist`] — block distribution of array index spaces over the grid,
 //!   including ghost-region geometry and the slab exchanged for a given
 //!   shift offset;
+//! * [`linkstats::MeshTraffic`] — per-link traffic accounting over the
+//!   mesh's X-then-Y dimension-ordered routes ([`topology::ProcGrid::route`]):
+//!   bytes, messages and busy time per directed link, with utilization and
+//!   max-contention hotspot queries;
 //! * [`cost::CommCosts`] — per-library communication cost parameters
 //!   (fixed software overheads, per-byte CPU costs, network latency and
 //!   bandwidth, synchronization costs);
@@ -25,10 +29,12 @@
 
 pub mod cost;
 pub mod dist;
+pub mod linkstats;
 pub mod spec;
 pub mod topology;
 
 pub use cost::CommCosts;
 pub use dist::BlockDist;
+pub use linkstats::{LinkStats, MeshTraffic};
 pub use spec::MachineSpec;
-pub use topology::{ProcGrid, ProcId};
+pub use topology::{Link, ProcGrid, ProcId, Route};

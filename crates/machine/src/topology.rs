@@ -88,6 +88,87 @@ impl ProcGrid {
     pub fn procs(&self) -> impl Iterator<Item = ProcId> {
         0..self.len()
     }
+
+    /// Manhattan (hop) distance between two processors on the mesh.
+    pub fn manhattan(&self, a: ProcId, b: ProcId) -> usize {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (0..DIST_DIMS).map(|d| ca[d].abs_diff(cb[d])).sum()
+    }
+
+    /// The dimension-ordered X-then-Y route from `a` to `b`: first along
+    /// the column axis (`dims[1]`), then along the row axis (`dims[0]`) —
+    /// the deterministic deadlock-free routing of 2D-mesh machines like
+    /// the Paragon. Yields one [`Link`] per hop; empty when `a == b`.
+    pub fn route(&self, a: ProcId, b: ProcId) -> Route {
+        Route {
+            grid: *self,
+            cur: self.coords(a),
+            dst: self.coords(b),
+        }
+    }
+
+    /// Number of directed mesh links (each adjacent pair counted once per
+    /// direction).
+    pub fn num_links(&self) -> usize {
+        let [r, c] = self.dims;
+        2 * (r * (c - 1) + c * (r - 1))
+    }
+}
+
+/// A directed link between two *adjacent* mesh processors. The ordering
+/// (derived) makes link tables deterministic: sorted by source, then
+/// destination.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Link {
+    pub from: ProcId,
+    pub to: ProcId,
+}
+
+impl std::fmt::Display for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}->p{}", self.from, self.to)
+    }
+}
+
+/// The hop iterator of [`ProcGrid::route`]: X-then-Y dimension-ordered.
+#[derive(Clone, Debug)]
+pub struct Route {
+    grid: ProcGrid,
+    cur: [usize; DIST_DIMS],
+    dst: [usize; DIST_DIMS],
+}
+
+impl Iterator for Route {
+    type Item = Link;
+
+    fn next(&mut self) -> Option<Link> {
+        // Correct the column coordinate first, then the row coordinate.
+        let d = if self.cur[1] != self.dst[1] {
+            1
+        } else if self.cur[0] != self.dst[0] {
+            0
+        } else {
+            return None;
+        };
+        let from = self.grid.at(self.cur);
+        if self.dst[d] > self.cur[d] {
+            self.cur[d] += 1;
+        } else {
+            self.cur[d] -= 1;
+        }
+        Some(Link {
+            from,
+            to: self.grid.at(self.cur),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = (0..DIST_DIMS)
+            .map(|d| self.cur[d].abs_diff(self.dst[d]))
+            .sum();
+        (n, Some(n))
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +222,88 @@ mod tests {
         assert_eq!(ProcGrid::new(1, 1).interior_proc(), 0);
         let g = ProcGrid::new(1, 4);
         assert_eq!(g.coords(g.interior_proc()), [0, 1]);
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let g = ProcGrid::new(3, 4);
+        // From (0,0) to (2,2): columns first (east, east), then rows
+        // (south, south).
+        let hops: Vec<Link> = g.route(g.at([0, 0]), g.at([2, 2])).collect();
+        assert_eq!(hops.len(), 4);
+        assert_eq!(
+            hops,
+            vec![
+                Link {
+                    from: g.at([0, 0]),
+                    to: g.at([0, 1])
+                },
+                Link {
+                    from: g.at([0, 1]),
+                    to: g.at([0, 2])
+                },
+                Link {
+                    from: g.at([0, 2]),
+                    to: g.at([1, 2])
+                },
+                Link {
+                    from: g.at([1, 2]),
+                    to: g.at([2, 2])
+                },
+            ]
+        );
+        // Every hop connects mesh-adjacent processors.
+        for l in &hops {
+            assert_eq!(g.manhattan(l.from, l.to), 1);
+        }
+    }
+
+    #[test]
+    fn route_handles_edges_and_corners() {
+        let g = ProcGrid::new(3, 3);
+        // Self-route is empty.
+        assert_eq!(g.route(4, 4).count(), 0);
+        // Corner to opposite corner: full semi-perimeter.
+        let corner = g.at([0, 0]);
+        let opposite = g.at([2, 2]);
+        assert_eq!(g.route(corner, opposite).count(), 4);
+        // Reverse direction works (negative steps on both axes).
+        let back: Vec<Link> = g.route(opposite, corner).collect();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.first().unwrap().from, opposite);
+        assert_eq!(back.last().unwrap().to, corner);
+        // Routes along a single mesh edge stay on it.
+        let edge: Vec<Link> = g.route(g.at([0, 0]), g.at([0, 2])).collect();
+        assert!(edge.iter().all(|l| g.coords(l.to)[0] == 0));
+        // Degenerate 1xN grid: only the column axis exists.
+        let line = ProcGrid::new(1, 5);
+        assert_eq!(line.route(0, 4).count(), 4);
+    }
+
+    #[test]
+    fn route_chains_hops_contiguously() {
+        let g = ProcGrid::new(4, 4);
+        let hops: Vec<Link> = g.route(3, 12).collect();
+        assert_eq!(hops.first().unwrap().from, 3);
+        assert_eq!(hops.last().unwrap().to, 12);
+        for w in hops.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+    }
+
+    #[test]
+    fn num_links_counts_directed_mesh_edges() {
+        assert_eq!(ProcGrid::new(1, 1).num_links(), 0);
+        assert_eq!(ProcGrid::new(1, 4).num_links(), 6);
+        assert_eq!(ProcGrid::new(2, 2).num_links(), 8);
+        assert_eq!(ProcGrid::new(8, 8).num_links(), 2 * (8 * 7 + 8 * 7));
+    }
+
+    #[test]
+    fn link_display_and_order() {
+        let a = Link { from: 0, to: 1 };
+        let b = Link { from: 1, to: 0 };
+        assert_eq!(a.to_string(), "p0->p1");
+        assert!(a < b, "links sort by source first");
     }
 }

@@ -1,0 +1,100 @@
+//! Randomized tests for mesh routing and link accounting: the invariants
+//! the metrics subsystem relies on, checked over seeded random grids and
+//! endpoint pairs (commopt-testkit; no external dependencies).
+
+use commopt_machine::{Link, MeshTraffic, ProcGrid};
+use commopt_testkit::{cases, Rng};
+
+fn arb_grid(rng: &mut Rng) -> ProcGrid {
+    ProcGrid::new(rng.usize(1, 8), rng.usize(1, 8))
+}
+
+#[test]
+fn route_length_equals_manhattan_distance() {
+    cases(512, |rng| {
+        let g = arb_grid(rng);
+        let a = rng.usize(0, g.len() - 1);
+        let b = rng.usize(0, g.len() - 1);
+        let hops: Vec<Link> = g.route(a, b).collect();
+        assert_eq!(hops.len(), g.manhattan(a, b), "{g:?}: {a} -> {b}");
+    });
+}
+
+#[test]
+fn route_is_a_contiguous_adjacent_chain() {
+    cases(512, |rng| {
+        let g = arb_grid(rng);
+        let a = rng.usize(0, g.len() - 1);
+        let b = rng.usize(0, g.len() - 1);
+        let hops: Vec<Link> = g.route(a, b).collect();
+        if a == b {
+            assert!(hops.is_empty());
+            return;
+        }
+        assert_eq!(hops.first().unwrap().from, a);
+        assert_eq!(hops.last().unwrap().to, b);
+        for w in hops.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "hops must chain");
+        }
+        for l in &hops {
+            assert_eq!(g.manhattan(l.from, l.to), 1, "hops must be adjacent");
+        }
+        // Dimension order: once a hop moves along rows, no later hop moves
+        // along columns.
+        let mut seen_row_hop = false;
+        for l in &hops {
+            let col_hop = g.coords(l.from)[0] == g.coords(l.to)[0];
+            if !col_hop {
+                seen_row_hop = true;
+            }
+            assert!(!(seen_row_hop && col_hop), "X hops must precede Y hops");
+        }
+    });
+}
+
+#[test]
+fn routes_never_leave_the_bounding_box() {
+    cases(256, |rng| {
+        let g = arb_grid(rng);
+        let a = rng.usize(0, g.len() - 1);
+        let b = rng.usize(0, g.len() - 1);
+        let (ca, cb) = (g.coords(a), g.coords(b));
+        for l in g.route(a, b) {
+            for p in [l.from, l.to] {
+                let c = g.coords(p);
+                for d in 0..2 {
+                    assert!(c[d] >= ca[d].min(cb[d]) && c[d] <= ca[d].max(cb[d]));
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn traffic_conserves_bytes_and_hops() {
+    cases(128, |rng| {
+        let g = arb_grid(rng);
+        let mut t = MeshTraffic::new(g);
+        let mut expect_hops = 0u64;
+        let mut expect_bytes = 0u64;
+        for _ in 0..rng.usize(0, 20) {
+            let a = rng.usize(0, g.len() - 1);
+            let b = rng.usize(0, g.len() - 1);
+            let bytes = rng.usize(1, 4096) as u64;
+            let dist = g.manhattan(a, b) as u64;
+            t.record_message(a, b, bytes, bytes as f64 / 100.0);
+            expect_hops += dist;
+            expect_bytes += bytes * dist;
+        }
+        assert_eq!(t.total_hops(), expect_hops);
+        assert_eq!(t.total_link_bytes(), expect_bytes);
+        assert!(t.touched_links() <= g.num_links());
+        // Busy time is non-negative everywhere and the hotspot dominates.
+        if let Some((_, hot)) = t.hotspot() {
+            for (_, s) in t.links() {
+                assert!(s.busy_us >= 0.0);
+                assert!(s.busy_us <= hot.busy_us + 1e-12);
+            }
+        }
+    });
+}

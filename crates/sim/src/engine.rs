@@ -31,7 +31,7 @@ use crate::darray::{Block, DistArray};
 use crate::error::{SimError, StuckCall};
 use crate::eval::{eval_run, BlockSource, BufPool, EvalCtx};
 use crate::faults::{FaultPlan, FaultState};
-use crate::metrics::{ProcBreakdown, SimResult, TransferStats};
+use crate::metrics::{ProcBreakdown, RunMetrics, SimResult, TransferStats};
 use crate::safety::SafetyViolation;
 use crate::trace::{SpanKind, TraceEvent, TraceHandle, TraceSink};
 use commopt_ir::analysis::expr_flops;
@@ -65,6 +65,11 @@ pub struct SimConfig {
     /// with its `Sync` stripped) against the safety checker. `None` uses
     /// [`Library::binding`].
     pub binding: Option<Binding>,
+    /// `true`: collect deep metrics — per-IRONMAN-call latency histograms,
+    /// message counters, and per-link traffic over the mesh — into
+    /// [`SimResult::metrics`]. Like tracing, collection is observational:
+    /// every other result field is identical with metrics on or off.
+    pub metrics: bool,
 }
 
 impl SimConfig {
@@ -78,6 +83,7 @@ impl SimConfig {
             trace: None,
             faults: FaultPlan::none(),
             binding: None,
+            metrics: false,
         }
     }
 
@@ -91,6 +97,7 @@ impl SimConfig {
             trace: None,
             faults: FaultPlan::none(),
             binding: None,
+            metrics: false,
         }
     }
 
@@ -110,6 +117,12 @@ impl SimConfig {
     /// or deliberately broken bindings against the safety checker.
     pub fn with_binding(mut self, binding: Binding) -> SimConfig {
         self.binding = Some(binding);
+        self
+    }
+
+    /// Enables deep metrics collection (see [`crate::metrics::RunMetrics`]).
+    pub fn with_metrics(mut self) -> SimConfig {
+        self.metrics = true;
         self
     }
 }
@@ -208,6 +221,9 @@ pub struct Simulator<'p> {
     /// Fault-injection state; `Some` only when the plan is active, so the
     /// inert plan draws no random numbers and perturbs nothing.
     faults: Option<FaultState>,
+    /// Deep metrics accumulator; `Some` only when configured, so the
+    /// default path costs nothing and perturbs nothing.
+    metrics: Option<RunMetrics>,
     /// Per transfer: whether the receiver side has posted readiness for
     /// the next one-way put. Consumed by each put instance (see
     /// [`crate::safety`]).
@@ -268,6 +284,7 @@ impl<'p> Simulator<'p> {
             xfer: vec![TransferStats::default(); program.transfers.len()],
             span_bytes: vec![0; n],
             faults,
+            metrics: cfg.metrics.then(|| RunMetrics::new(grid)),
             ready: BTreeMap::new(),
             violations: Vec::new(),
             cfg,
@@ -358,6 +375,17 @@ impl<'p> Simulator<'p> {
             }
         }
         result.faults = self.faults.as_ref().map(|f| f.stats).unwrap_or_default();
+        if let Some(mut m) = self.metrics.take() {
+            let dur_us = time_s * 1e6;
+            m.registry.inc("comm.hops", m.mesh.total_hops());
+            m.registry
+                .set_gauge("mesh.max_utilization", m.mesh.max_utilization(dur_us));
+            m.registry.set_gauge(
+                "mesh.hotspot_busy_us",
+                m.mesh.hotspot().map(|(_, s)| s.busy_us).unwrap_or(0.0),
+            );
+            result.metrics = Some(m);
+        }
         Ok(result)
     }
 
@@ -612,6 +640,13 @@ impl<'p> Simulator<'p> {
             Action::WaitSend => self.do_wait_send(tid),
         }
         self.comm_us += self.clocks[cp] - before;
+        if let Some(m) = self.metrics.as_mut() {
+            // Call latency on the counting processor, in nanoseconds —
+            // rounded to an integer so the histogram is exact and the
+            // perf snapshot serializes identically across platforms.
+            let ns = ((self.clocks[cp] - before) * 1e3).round() as u64;
+            m.registry.record(RunMetrics::call_hist_name(kind), ns);
+        }
         if let (Some(trace), Some(start)) = (&self.cfg.trace, span_start) {
             for p in 0..self.grid.len() {
                 trace.record(TraceEvent {
@@ -686,6 +721,20 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Metrics hook: one point-to-point message injected. Link busy time
+    /// is the Figure 3 cost model's *wire term* only — `bytes / bandwidth`
+    /// (MB/s ≡ bytes/µs), the time the payload occupies each link on its
+    /// X-then-Y route — never wall-clock, which would double-count
+    /// sender-side waits (see DESIGN.md).
+    fn account_message(&mut self, from: ProcId, to: ProcId, bytes: u64) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.registry.inc("comm.messages", 1);
+            m.registry.inc("comm.bytes", bytes);
+            let busy_us = bytes as f64 / self.costs.bandwidth_mb_s;
+            m.mesh.record_message(from, to, bytes, busy_us);
+        }
+    }
+
     /// SR under `csend`/`pvm_send` (blocking, buffered) or `isend`/`hsend`
     /// (asynchronous: initiation only, injection by the co-processor).
     fn do_send(&mut self, tid: TransferId, is_async: bool) {
@@ -708,6 +757,7 @@ impl<'p> Simulator<'p> {
                 self.clocks[p] += self.costs.send_cpu_us(b);
                 self.cats[p].send_s += self.costs.send_cpu_us(b);
                 self.span_bytes[p] += b;
+                self.account_message(p, reader, b);
                 fl.arrival[reader] = self.clocks[p] + self.wire_time(b);
                 fl.buf_free[p] = self.clocks[p];
                 let _ = is_async;
@@ -763,6 +813,7 @@ impl<'p> Simulator<'p> {
                 self.cats[p].wait_s += start - self.clocks[p];
                 self.cats[p].send_s += self.costs.send_cpu_us(b);
                 self.span_bytes[p] += b;
+                self.account_message(p, reader, b);
                 self.clocks[p] = start + self.costs.send_cpu_us(b);
                 fl.arrival[reader] = self.clocks[p] + self.wire_time(b);
                 fl.buf_free[p] = self.clocks[p];
@@ -1359,6 +1410,97 @@ mod tests {
                 assert!(!rec.is_empty(), "{name}/{lib:?}: no events recorded");
             }
         }
+    }
+
+    #[test]
+    fn metrics_do_not_change_results() {
+        // The observability invariant: deep metrics collection never
+        // perturbs the simulated numbers. Strip the metrics field and the
+        // two results must be *equal*, across presets, machines, bindings.
+        let src = jacobi(16, 3);
+        for (name, cfg) in OptConfig::presets() {
+            let opt = optimize(&src, &cfg);
+            for (machine, lib) in [
+                (t3d(), Library::Pvm),
+                (t3d(), Library::Shmem),
+                (MachineSpec::paragon(), Library::NxSync),
+            ] {
+                let cfg = SimConfig::full(machine, lib, 4);
+                let plain = Simulator::new(&opt.program, cfg.clone()).run();
+                let mut metered = Simulator::new(&opt.program, cfg.with_metrics()).run();
+                let m = metered.metrics.take().expect("metrics were enabled");
+                assert!(
+                    !m.registry.is_empty(),
+                    "{name}/{lib:?}: nothing was recorded"
+                );
+                assert!(plain.metrics.is_none());
+                assert_eq!(plain, metered, "{name}/{lib:?}: metrics changed the result");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_histograms_count_every_call() {
+        let src = jacobi(12, 4);
+        let opt = optimize(&src, &OptConfig::pl());
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(t3d(), Library::Pvm, 4).with_metrics(),
+        )
+        .run();
+        let m = r.metrics.as_ref().unwrap();
+        // Every executed IRONMAN call records exactly one latency sample
+        // on the counting processor; the quad executes together, so each
+        // kind's count equals the dynamic communication count.
+        for kind in CallKind::QUAD {
+            let h = m.call_hist(kind).unwrap_or_else(|| panic!("{kind:?}"));
+            assert_eq!(h.count(), r.dynamic_comm, "{kind:?}");
+            let s = h.summary().expect("non-empty");
+            assert!(s.min <= s.max && s.sum >= s.max);
+        }
+    }
+
+    #[test]
+    fn metrics_mesh_accounting_is_consistent() {
+        let src = jacobi(32, 4);
+        let opt = optimize(&src, &OptConfig::baseline());
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(t3d(), Library::Pvm, 16).with_metrics(),
+        )
+        .run();
+        let m = r.metrics.as_ref().unwrap();
+        let msgs = m.registry.counter("comm.messages");
+        let bytes = m.registry.counter("comm.bytes");
+        assert!(msgs > 0 && bytes > 0);
+        // Payload bytes spread over the mesh: link-bytes = Σ bytes × hops,
+        // so with unit-or-more routes it is at least the payload total.
+        assert!(m.mesh.total_link_bytes() >= bytes);
+        assert_eq!(m.registry.counter("comm.hops"), m.mesh.total_hops());
+        let mesh_msgs: u64 = m.mesh.links().map(|(_, s)| s.messages).sum();
+        assert!(mesh_msgs >= msgs, "every message crosses >= 1 link here");
+        // The hotspot gauges agree with the mesh table.
+        let (_, hot) = m.mesh.hotspot().expect("traffic exists");
+        assert_eq!(m.registry.gauge("mesh.hotspot_busy_us"), Some(hot.busy_us));
+        let util = m.registry.gauge("mesh.max_utilization").unwrap();
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn single_proc_metrics_have_no_traffic() {
+        let src = jacobi(8, 2);
+        let opt = optimize(&src, &OptConfig::pl());
+        let r = Simulator::new(
+            &opt.program,
+            SimConfig::timing(t3d(), Library::Pvm, 1).with_metrics(),
+        )
+        .run();
+        let m = r.metrics.as_ref().unwrap();
+        assert_eq!(m.registry.counter("comm.messages"), 0);
+        assert_eq!(m.mesh.touched_links(), 0);
+        assert_eq!(m.registry.gauge("mesh.max_utilization"), Some(0.0));
+        // Calls still execute (SPMD text), so latency samples exist.
+        assert!(m.call_hist(CallKind::DN).is_some());
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //!   call with transfer id and byte counts — exportable as Chrome
 //!   `trace_event` JSON via [`trace::chrome_trace`]. Tracing is purely
 //!   observational: a traced run's `SimResult` is identical to an
-//!   untraced one.
+//!   untraced one;
+//! * optionally (with `SimConfig::with_metrics`) **deep metrics** — a
+//!   zero-dependency registry ([`metrics::Registry`]) of per-IRONMAN-call
+//!   latency histograms and message counters, plus per-link traffic over
+//!   the machine mesh (`commopt-machine::MeshTraffic`), attached to the
+//!   result as [`RunMetrics`]. Like tracing, metrics collection never
+//!   changes the simulated numbers.
 //!
 //! Because the language has no data-dependent control flow, all processors
 //! execute the same statement sequence and the simulator advances them in
@@ -61,7 +67,9 @@ pub use darray::{Block, DistArray};
 pub use engine::{SimConfig, Simulator};
 pub use error::{SimError, StuckCall};
 pub use faults::{FaultPlan, FaultStats};
-pub use metrics::{ProcBreakdown, SimResult, TransferStats};
+pub use metrics::{
+    HistSummary, Histogram, ProcBreakdown, Registry, RunMetrics, SimResult, TransferStats,
+};
 pub use safety::SafetyViolation;
 pub use seq::SeqInterp;
 pub use trace::{chrome_trace, Recorder, SpanKind, TraceEvent, TraceHandle, TraceSink};

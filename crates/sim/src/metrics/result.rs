@@ -1,5 +1,6 @@
 //! Simulation outputs.
 
+use super::RunMetrics;
 use crate::faults::FaultStats;
 use std::collections::BTreeMap;
 
@@ -88,6 +89,12 @@ pub struct SimResult {
     /// What the fault plan actually did (all zeros without an active
     /// plan — see [`crate::faults`]).
     pub faults: FaultStats,
+    /// Deep accounting (call-latency histograms, per-link mesh traffic),
+    /// populated only when the run was configured with
+    /// [`SimConfig::with_metrics`](crate::SimConfig::with_metrics).
+    /// Collection is observational: every other field is identical with
+    /// metrics on or off.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl SimResult {
