@@ -1,0 +1,403 @@
+//! The control-flow graph and the worklist fixpoint solver.
+//!
+//! The mini-ZPL IR has structured control flow only (`Repeat`/`For`), so
+//! the CFG of a program is a chain of statement nodes with three extra
+//! edges per loop: a *loop-entry* edge from the loop header into its body,
+//! a *back* edge from the last body statement to the header, and a
+//! *loop-exit* edge from the last body statement to the statement after
+//! the loop. Entry and exit edges carry the loop's *kill set* — the arrays
+//! its body writes — which the ghost-availability analysis uses to drop
+//! carried ghost data conservatively, exactly the way `verify_plan` does.
+//!
+//! [`solve`] is a generic worklist solver: it iterates transfer functions
+//! to a fixpoint over this graph in either direction, starting optimistic
+//! (unvisited nodes contribute nothing to a join), so loops converge to
+//! the most precise fixpoint the back-edge iteration supports.
+
+use commopt_ir::analysis::{stmt_comm_refs, written_arrays, CommRef, Span};
+use commopt_ir::{ArrayId, CallKind, Program, Region, Stmt, TransferId};
+use std::collections::BTreeSet;
+
+/// What a CFG node does, pre-digested for the transfer functions.
+#[derive(Clone, Debug)]
+pub enum NodeOp {
+    /// A source statement: non-local reads (each with the statement's
+    /// region), then an optional whole-array write.
+    Source {
+        refs: Vec<CommRef>,
+        region: Option<Region>,
+        writes: Option<ArrayId>,
+    },
+    /// One IRONMAN call. `written_before` snapshots the arrays written by
+    /// any statement that precedes this call in program pre-order — the
+    /// freshness fallback for a DN whose SR is out of scope (mirroring the
+    /// version-0 fallback of `verify_plan`). `sr_before_in_list` records
+    /// whether the transfer's SR appears *earlier in the same statement
+    /// list*, because that is the scope of `verify_plan`'s per-block SR
+    /// snapshot: a DN whose SR sits in a different list, or later in this
+    /// one, must take the fallback even though the dataflow state happens
+    /// to carry a pending set across the loop's back edge.
+    Comm {
+        kind: CallKind,
+        transfer: TransferId,
+        written_before: BTreeSet<ArrayId>,
+        sr_before_in_list: bool,
+    },
+    /// A loop header. Its entry and exit edges kill `writes`.
+    Loop { writes: BTreeSet<ArrayId> },
+    /// Synthetic entry/exit marker.
+    Boundary,
+}
+
+/// One node of the graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub span: Span,
+    pub op: NodeOp,
+}
+
+/// A directed edge; `kill` names the loop node whose written set the edge
+/// applies (loop-entry and loop-exit edges only).
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    pub to: usize,
+    pub kill: Option<usize>,
+}
+
+/// The control-flow graph of one instrumented (or source) program.
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub succs: Vec<Vec<Edge>>,
+    pub preds: Vec<Vec<Edge>>,
+    pub entry: usize,
+    pub exit: usize,
+}
+
+impl Cfg {
+    pub fn build(program: &Program) -> Cfg {
+        let mut b = Builder {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            written: BTreeSet::new(),
+        };
+        let entry = b.push(Node {
+            span: Span::root(),
+            op: NodeOp::Boundary,
+        });
+        let out = b.lower(&program.body, &Span::root(), (entry, None));
+        let exit = b.push(Node {
+            span: Span::root(),
+            op: NodeOp::Boundary,
+        });
+        b.connect(out, exit);
+        Cfg {
+            nodes: b.nodes,
+            succs: b.succs,
+            preds: b.preds,
+            entry,
+            exit,
+        }
+    }
+
+    /// The kill set of an edge, if any.
+    pub fn kill_of(&self, e: Edge) -> Option<&BTreeSet<ArrayId>> {
+        e.kill.map(|ix| match &self.nodes[ix].op {
+            NodeOp::Loop { writes } => writes,
+            _ => unreachable!("kill edges reference loop nodes"),
+        })
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+    /// Arrays written so far in program pre-order (build order), snapshot
+    /// at each communication call node.
+    written: BTreeSet<ArrayId>,
+}
+
+impl Builder {
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn connect(&mut self, from: (usize, Option<usize>), to: usize) {
+        let (src, kill) = from;
+        self.succs[src].push(Edge { to, kill });
+        self.preds[to].push(Edge { to: src, kill });
+    }
+
+    /// Lowers one statement list, chaining from `prev` (a node plus the
+    /// kill the edge out of it must carry). Returns the outgoing port.
+    fn lower(
+        &mut self,
+        block: &commopt_ir::Block,
+        prefix: &Span,
+        mut prev: (usize, Option<usize>),
+    ) -> (usize, Option<usize>) {
+        let mut srs_seen: BTreeSet<TransferId> = BTreeSet::new();
+        for (i, stmt) in block.iter().enumerate() {
+            let span = prefix.child(i);
+            match stmt {
+                Stmt::Repeat { body, .. } | Stmt::For { body, .. } => {
+                    let writes = written_arrays(body);
+                    let head = self.push(Node {
+                        span: span.clone(),
+                        op: NodeOp::Loop { writes },
+                    });
+                    self.connect(prev, head);
+                    if body.iter().next().is_some() {
+                        // head -> body (kill), body end -> head (back edge),
+                        // body end -> after (kill).
+                        let body_out = self.lower(body, &span, (head, Some(head)));
+                        let (out_node, _) = body_out;
+                        self.connect((out_node, None), head);
+                        prev = (out_node, Some(head));
+                    } else {
+                        prev = (head, None);
+                    }
+                }
+                Stmt::Comm { kind, transfer } => {
+                    let node = self.push(Node {
+                        span: span.clone(),
+                        op: NodeOp::Comm {
+                            kind: *kind,
+                            transfer: *transfer,
+                            written_before: self.written.clone(),
+                            sr_before_in_list: srs_seen.contains(transfer),
+                        },
+                    });
+                    if *kind == CallKind::SR {
+                        srs_seen.insert(*transfer);
+                    }
+                    self.connect(prev, node);
+                    prev = (node, None);
+                }
+                source => {
+                    let region = match source {
+                        Stmt::Assign { region, .. } => Some(*region),
+                        Stmt::ScalarAssign {
+                            rhs: commopt_ir::ScalarRhs::Reduce { region, .. },
+                            ..
+                        } => Some(*region),
+                        _ => None,
+                    };
+                    let writes = commopt_ir::arrays_written(source);
+                    let node = self.push(Node {
+                        span: span.clone(),
+                        op: NodeOp::Source {
+                            refs: stmt_comm_refs(source),
+                            region,
+                            writes,
+                        },
+                    });
+                    if let Some(w) = writes {
+                        self.written.insert(w);
+                    }
+                    self.connect(prev, node);
+                    prev = (node, None);
+                }
+            }
+        }
+        prev
+    }
+}
+
+/// Direction of a dataflow analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// A dataflow problem over the [`Cfg`].
+///
+/// The solver computes, for each node, the state *entering* the node in
+/// the direction of the analysis (program-order "in" for forward problems,
+/// program-order "out" for backward ones), by iterating `transfer` over a
+/// worklist until nothing changes. Joins start optimistic: a predecessor
+/// the worklist has not reached yet contributes nothing, so must-problems
+/// converge from above to their greatest fixpoint — the precision the
+/// back-edge iteration is there to buy.
+pub trait Analysis {
+    type State: Clone + PartialEq;
+
+    fn direction(&self) -> Direction;
+
+    /// State at the boundary (program entry for forward, exit for backward).
+    fn boundary(&self) -> Self::State;
+
+    /// Combine two states at a join point.
+    fn join(&self, a: &Self::State, b: &Self::State) -> Self::State;
+
+    /// Apply an edge's kill set (loop-entry/exit edges).
+    fn edge(&self, kill: &BTreeSet<ArrayId>, state: Self::State) -> Self::State;
+
+    /// Push a state through a node.
+    fn transfer(&self, node: &Node, state: Self::State) -> Self::State;
+}
+
+/// Runs `analysis` to a fixpoint. Returns the per-node entering state (in
+/// analysis direction); `None` for nodes the analysis never reached.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Vec<Option<A::State>> {
+    let n = cfg.nodes.len();
+    let backward = analysis.direction() == Direction::Backward;
+    let (boundary_node, preds): (usize, &Vec<Vec<Edge>>) = if backward {
+        (cfg.exit, &cfg.succs)
+    } else {
+        (cfg.entry, &cfg.preds)
+    };
+    let succs = if backward { &cfg.preds } else { &cfg.succs };
+
+    let mut state: Vec<Option<A::State>> = vec![None; n];
+    let mut out: Vec<Option<A::State>> = vec![None; n];
+    let mut worklist: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+
+    while let Some(ix) = worklist.pop_front() {
+        queued[ix] = false;
+        // Join over the already-computed incoming states.
+        let mut incoming: Option<A::State> = if ix == boundary_node {
+            Some(analysis.boundary())
+        } else {
+            None
+        };
+        for e in &preds[ix] {
+            let Some(s) = &out[e.to] else { continue };
+            let s = match cfg.kill_of(*e) {
+                Some(kill) => analysis.edge(kill, s.clone()),
+                None => s.clone(),
+            };
+            incoming = Some(match incoming {
+                Some(acc) => analysis.join(&acc, &s),
+                None => s,
+            });
+        }
+        let Some(incoming) = incoming else { continue };
+        let new_out = analysis.transfer(&cfg.nodes[ix], incoming.clone());
+        let changed = state[ix].as_ref() != Some(&incoming) || out[ix].as_ref() != Some(&new_out);
+        state[ix] = Some(incoming);
+        out[ix] = Some(new_out);
+        if changed {
+            for e in &succs[ix] {
+                if !queued[e.to] {
+                    queued[e.to] = true;
+                    worklist.push_back(e.to);
+                }
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_ir::offset::compass;
+    use commopt_ir::{Block, Expr, Rect, Region};
+
+    fn two_level_program() -> Program {
+        let mut p = Program::new("cfg");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::assign(r, x, Expr::Const(1.0)),
+            Stmt::Repeat {
+                count: 3,
+                body: Block::new(vec![Stmt::assign(r, a, Expr::at(x, compass::EAST))]),
+            },
+            Stmt::assign(r, a, Expr::Const(0.0)),
+        ]);
+        p
+    }
+
+    #[test]
+    fn loops_get_entry_back_and_exit_edges() {
+        let cfg = Cfg::build(&two_level_program());
+        // entry, X:=, loop, body stmt, A:=, exit.
+        assert_eq!(cfg.nodes.len(), 6);
+        let loop_ix = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, NodeOp::Loop { .. }))
+            .unwrap();
+        let body_ix = loop_ix + 1;
+        // Loop-entry edge carries the body's kill set.
+        let entry_edge = cfg.succs[loop_ix]
+            .iter()
+            .find(|e| e.to == body_ix)
+            .expect("loop -> body edge");
+        assert!(cfg.kill_of(*entry_edge).unwrap().contains(&ArrayId(1)));
+        // Back edge from the body end to the header, no kill.
+        assert!(cfg.succs[body_ix]
+            .iter()
+            .any(|e| e.to == loop_ix && e.kill.is_none()));
+        // Exit edge from the body end past the loop, with the kill.
+        assert!(cfg.succs[body_ix]
+            .iter()
+            .any(|e| e.to == body_ix + 1 && e.kill == Some(loop_ix)));
+    }
+
+    #[test]
+    fn spans_match_statement_paths() {
+        let cfg = Cfg::build(&two_level_program());
+        let spans: Vec<String> = cfg
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.op, NodeOp::Boundary))
+            .map(|n| n.span.to_string())
+            .collect();
+        assert_eq!(spans, vec!["s0", "s1", "s1.0", "s2"]);
+    }
+
+    /// A trivial forward may-analysis: the set of arrays written so far.
+    struct WrittenSoFar;
+    impl Analysis for WrittenSoFar {
+        type State = BTreeSet<ArrayId>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> Self::State {
+            BTreeSet::new()
+        }
+        fn join(&self, a: &Self::State, b: &Self::State) -> Self::State {
+            a.union(b).copied().collect()
+        }
+        fn edge(&self, _kill: &BTreeSet<ArrayId>, state: Self::State) -> Self::State {
+            state
+        }
+        fn transfer(&self, node: &Node, mut state: Self::State) -> Self::State {
+            if let NodeOp::Source {
+                writes: Some(w), ..
+            } = &node.op
+            {
+                state.insert(*w);
+            }
+            state
+        }
+    }
+
+    #[test]
+    fn worklist_reaches_fixpoint_through_loops() {
+        let cfg = Cfg::build(&two_level_program());
+        let states = solve(&cfg, &WrittenSoFar);
+        // At exit, every write is visible.
+        let at_exit = states[cfg.exit].as_ref().unwrap();
+        assert!(at_exit.contains(&ArrayId(0)) && at_exit.contains(&ArrayId(1)));
+        // At the body statement, the back edge has folded the body's own
+        // write of A into the loop-header join.
+        let body_ix = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, NodeOp::Loop { .. }))
+            .unwrap()
+            + 1;
+        assert!(states[body_ix].as_ref().unwrap().contains(&ArrayId(1)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Forward must-availability of ghost data — the reaching-definitions side
+//! of commlint, and the static mirror of `verify_plan`'s ghost tracking.
+//!
+//! The abstract state maps each [`CommRef`] to the freshness of its
+//! delivered ghost copy, plus, per in-flight transfer, the set of carried
+//! arrays written since its SR. The join is a *must* join: a ghost is
+//! available only if every incoming path delivered it, and fresh only if
+//! it is fresh on every path. Loop-entry and loop-exit edges kill ghosts
+//! of arrays the loop body writes — the same conservative rule
+//! `verify_plan` applies — and the worklist's back-edge iteration then
+//! recovers anything the body itself re-delivers.
+
+use crate::cfg::{Analysis, Cfg, Direction, Node, NodeOp};
+use crate::{Code, Diagnostic};
+use commopt_ir::analysis::CommRef;
+use commopt_ir::{ArrayId, CallKind, Program, TransferId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One delivered ghost copy.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Ghost {
+    /// `false` when the source array was written after the covering SR —
+    /// a read now sees outdated values.
+    pub fresh: bool,
+    /// The delivering transfer, when it is unique across paths.
+    pub from: Option<TransferId>,
+}
+
+/// The forward state.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct GhostState {
+    /// Delivered ghost data per (array, offset).
+    pub ghosts: BTreeMap<CommRef, Ghost>,
+    /// Per transfer with an SR in scope: carried arrays written since.
+    pub pending: BTreeMap<TransferId, BTreeSet<ArrayId>>,
+}
+
+pub struct GhostAnalysis<'p> {
+    pub program: &'p Program,
+}
+
+impl Analysis for GhostAnalysis<'_> {
+    type State = GhostState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> GhostState {
+        GhostState::default()
+    }
+
+    fn join(&self, a: &GhostState, b: &GhostState) -> GhostState {
+        // Must join on ghosts: key intersection, freshness AND.
+        let mut ghosts = BTreeMap::new();
+        for (r, ga) in &a.ghosts {
+            if let Some(gb) = b.ghosts.get(r) {
+                ghosts.insert(
+                    *r,
+                    Ghost {
+                        fresh: ga.fresh && gb.fresh,
+                        from: if ga.from == gb.from { ga.from } else { None },
+                    },
+                );
+            }
+        }
+        // May join on pending write sets: key and element union.
+        let mut pending = a.pending.clone();
+        for (t, writes) in &b.pending {
+            pending
+                .entry(*t)
+                .or_default()
+                .extend(writes.iter().copied());
+        }
+        GhostState { ghosts, pending }
+    }
+
+    fn edge(&self, kill: &BTreeSet<ArrayId>, mut state: GhostState) -> GhostState {
+        state.ghosts.retain(|r, _| !kill.contains(&r.array));
+        state
+    }
+
+    fn transfer(&self, node: &Node, mut state: GhostState) -> GhostState {
+        match &node.op {
+            NodeOp::Source {
+                writes: Some(w), ..
+            } => {
+                for (r, g) in state.ghosts.iter_mut() {
+                    if r.array == *w {
+                        g.fresh = false;
+                    }
+                }
+                for written in state.pending.values_mut() {
+                    written.insert(*w);
+                }
+            }
+            NodeOp::Comm {
+                kind,
+                transfer,
+                written_before,
+                sr_before_in_list,
+            } => match kind {
+                CallKind::SR => {
+                    state.pending.insert(*transfer, BTreeSet::new());
+                }
+                CallKind::DN => {
+                    // The SR snapshot is scoped to the DN's own statement
+                    // list and must precede the DN (like verify_plan's
+                    // per-block transfer table, filled in list order); an SR
+                    // in another list, or later in this one, leaves the
+                    // version-0 fallback: fresh only if the array has never
+                    // been written, in program pre-order. Gating on list
+                    // position (not just reachability) keeps a pending set
+                    // carried around a loop back edge from outliving the
+                    // scope verify_plan gives it.
+                    let since_sr = if *sr_before_in_list {
+                        state.pending.get(transfer)
+                    } else {
+                        None
+                    };
+                    for item in &self.program.transfer(*transfer).items {
+                        let fresh = match since_sr {
+                            Some(written) => !written.contains(&item.array),
+                            None => !written_before.contains(&item.array),
+                        };
+                        state.ghosts.insert(
+                            CommRef {
+                                array: item.array,
+                                offset: item.offset,
+                            },
+                            Ghost {
+                                fresh,
+                                from: Some(*transfer),
+                            },
+                        );
+                    }
+                }
+                CallKind::DR | CallKind::SV => {}
+            },
+            _ => {}
+        }
+        state
+    }
+}
+
+/// Runs the availability analysis and reports every C001 finding: a
+/// non-local read whose ghost data is missing or stale at the read.
+pub fn check(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let analysis = GhostAnalysis { program };
+    let states = crate::cfg::solve(cfg, &analysis);
+
+    // DN sites per ref, for the non-dominating hint on missing data.
+    let mut dn_sites: BTreeMap<CommRef, Vec<(TransferId, commopt_ir::Span)>> = BTreeMap::new();
+    for node in &cfg.nodes {
+        if let NodeOp::Comm {
+            kind: CallKind::DN,
+            transfer,
+            ..
+        } = &node.op
+        {
+            for item in &program.transfer(*transfer).items {
+                dn_sites
+                    .entry(CommRef {
+                        array: item.array,
+                        offset: item.offset,
+                    })
+                    .or_default()
+                    .push((*transfer, node.span.clone()));
+            }
+        }
+    }
+
+    for (ix, node) in cfg.nodes.iter().enumerate() {
+        let NodeOp::Source { refs, .. } = &node.op else {
+            continue;
+        };
+        let Some(state) = &states[ix] else { continue };
+        for r in refs {
+            let name = crate::ref_name(program, *r);
+            match state.ghosts.get(r) {
+                None => {
+                    let hint = match dn_sites.get(r).and_then(|sites| {
+                        sites.iter().find(|(_, span)| !span.dominates(&node.span))
+                    }) {
+                        Some((t, span)) => format!(
+                            " (t{} delivers it at {span}, which does not dominate this read)",
+                            t.0
+                        ),
+                        None => String::new(),
+                    };
+                    out.push(Diagnostic {
+                        code: Code::C001,
+                        span: node.span.clone(),
+                        message: format!("non-local read of {name} has no covering transfer{hint}"),
+                        transfer: None,
+                        r: Some(*r),
+                    });
+                }
+                Some(g) if !g.fresh => {
+                    let from = match g.from {
+                        Some(t) => format!("t{}", t.0),
+                        None => "its transfer".to_string(),
+                    };
+                    out.push(Diagnostic {
+                        code: Code::C001,
+                        span: node.span.clone(),
+                        message: format!("stale ghost data: {name} was written after {from}'s SR"),
+                        transfer: g.from,
+                        r: Some(*r),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}

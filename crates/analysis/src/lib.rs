@@ -1,0 +1,443 @@
+//! # commopt-analysis — `commlint`, a static analyzer for communication
+//! legality and missed optimizations
+//!
+//! This crate analyzes *instrumented* mini-ZPL programs — programs whose
+//! IRONMAN calls have already been placed, whether by the optimizer in
+//! `commopt-core` or by hand — and reports two families of findings:
+//!
+//! * **Legality** (error severity): reads of ghost data that no transfer
+//!   delivers or that a later write made stale ([`Code::C001`]), sends
+//!   hoisted above a def of their source ([`Code::C005`]), and call-protocol
+//!   violations ([`Code::C006`]). These mirror the dynamic
+//!   `commopt_core::verify_plan` oracle, statically.
+//! * **Missed optimizations** (warning severity): transfers nobody reads
+//!   ([`Code::C002`]), redundant re-deliveries the rr pass would remove
+//!   ([`Code::C003`]), and combinable transfers the cc pass would merge
+//!   ([`Code::C004`]). The C003/C004 counts at each optimization level
+//!   equal the corresponding `PassLog` event counts — they quantify the
+//!   *headroom* left on the table, in the spirit of the paper's
+//!   level-by-level comparison.
+//!
+//! The analyses run over a [`cfg::Cfg`] with a generic worklist solver
+//! ([`cfg::solve`]): forward must-availability of ghost data
+//! (reaching-definitions style) and backward may-liveness of delivered
+//! regions, both loop-aware via back-edge iteration to a fixpoint.
+
+pub mod cfg;
+mod ghost;
+mod live;
+mod local;
+
+pub use ghost::{Ghost, GhostAnalysis, GhostState};
+pub use live::{LiveAnalysis, LiveRegions, LiveState};
+
+use commopt_ir::analysis::{CommRef, Span};
+use commopt_ir::{Program, TransferId};
+use std::collections::BTreeMap;
+
+/// How bad a finding is. Errors are wrong answers; warnings are headroom
+/// or fragility.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Code {
+    /// Stale or missing ghost data at a non-local read.
+    C001,
+    /// Dead transfer: delivered data is never read.
+    C002,
+    /// Redundant communication the rr pass would remove.
+    C003,
+    /// Combinable transfers the cc pass would merge.
+    C004,
+    /// Unsafe hoist: SR above a def of the carried source.
+    C005,
+    /// IRONMAN call-protocol violation (order or multiplicity).
+    C006,
+    /// Source buffer overwritten while a transfer is in flight.
+    W101,
+}
+
+impl Code {
+    pub const ALL: [Code; 7] = [
+        Code::C001,
+        Code::C002,
+        Code::C003,
+        Code::C004,
+        Code::C005,
+        Code::C006,
+        Code::W101,
+    ];
+
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::C001 | Code::C005 | Code::C006 => Severity::Error,
+            Code::C002 | Code::C003 | Code::C004 | Code::W101 => Severity::Warning,
+        }
+    }
+
+    /// Short kebab-case name, for human-facing summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::C001 => "stale-ghost",
+            Code::C002 => "dead-transfer",
+            Code::C003 => "redundant-comm",
+            Code::C004 => "combinable",
+            Code::C005 => "unsafe-hoist",
+            Code::C006 => "call-protocol",
+            Code::W101 => "volatile-source",
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::C001 => "C001",
+            Code::C002 => "C002",
+            Code::C003 => "C003",
+            Code::C004 => "C004",
+            Code::C005 => "C005",
+            Code::C006 => "C006",
+            Code::W101 => "W101",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    pub code: Code,
+    /// The statement the finding anchors to (the read for C001, the DN for
+    /// C002–C004, the SR for C005, the offending call for C006, the write
+    /// for W101).
+    pub span: Span,
+    pub message: String,
+    /// The transfer involved, when there is exactly one.
+    pub transfer: Option<TransferId>,
+    /// The `(array, offset)` reference involved, when there is one.
+    pub r: Option<CommRef>,
+}
+
+impl Diagnostic {
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity(),
+            self.code,
+            self.span,
+            self.message
+        )
+    }
+}
+
+/// The result of linting one program.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (span, code).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Findings with the given code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    pub fn count(&self, code: Code) -> usize {
+        self.with_code(code).count()
+    }
+
+    /// Per-code counts, omitting zero rows.
+    pub fn counts(&self) -> BTreeMap<Code, usize> {
+        let mut out = BTreeMap::new();
+        for d in &self.diagnostics {
+            *out.entry(d.code).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// No findings at error severity.
+    pub fn error_free(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// No findings at all.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable listing, one finding per line, with a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        out.push_str(&format!(
+            "{} finding(s): {errors} error(s), {warnings} warning(s)\n",
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+/// Lints an instrumented program: builds the CFG once, runs the forward
+/// ghost-availability and backward liveness fixpoints plus the block-local
+/// scans, and returns every finding sorted by (span, code).
+pub fn lint(program: &Program) -> LintReport {
+    let cfg = cfg::Cfg::build(program);
+    let mut diagnostics = Vec::new();
+    ghost::check(program, &cfg, &mut diagnostics);
+    live::check(program, &cfg, &mut diagnostics);
+    local::check(program, &mut diagnostics);
+    diagnostics.sort_by(|a, b| (&a.span, a.code).cmp(&(&b.span, b.code)));
+    LintReport { diagnostics }
+}
+
+/// `"B@east"`-style rendering of a reference.
+pub(crate) fn ref_name(program: &Program, r: CommRef) -> String {
+    format!("{}{}", program.arrays[r.array.index()].name, r.offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commopt_ir::offset::compass;
+    use commopt_ir::{Block, CallKind, Expr, Rect, Region, Stmt, TransferItem};
+
+    fn region() -> Region {
+        Region::d2((2, 7), (2, 7))
+    }
+
+    /// X := 1; [quad t0 for X@east]; A := X@east
+    fn delivered_program() -> Program {
+        let mut p = Program::new("ok");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, region())]);
+        p.body = Block::new(vec![
+            Stmt::assign(region(), x, Expr::Const(1.0)),
+            Stmt::Comm {
+                kind: CallKind::DR,
+                transfer: t,
+            },
+            Stmt::Comm {
+                kind: CallKind::SR,
+                transfer: t,
+            },
+            Stmt::Comm {
+                kind: CallKind::DN,
+                transfer: t,
+            },
+            Stmt::assign(region(), a, Expr::at(x, compass::EAST)),
+            Stmt::Comm {
+                kind: CallKind::SV,
+                transfer: t,
+            },
+        ]);
+        p
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let report = lint(&delivered_program());
+        assert!(report.clean(), "unexpected findings:\n{}", report.render());
+    }
+
+    #[test]
+    fn missing_transfer_is_c001() {
+        let mut p = Program::new("missing");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        p.body = Block::new(vec![Stmt::assign(region(), a, Expr::at(x, compass::EAST))]);
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C001), 1);
+        let d = report.with_code(Code::C001).next().unwrap();
+        assert_eq!(d.span.to_string(), "s0");
+        assert!(d.message.contains("X@east"), "{}", d.message);
+        assert!(!report.error_free());
+    }
+
+    #[test]
+    fn stale_ghost_is_c001_and_write_in_flight_warns() {
+        // Writing X between SR and the read makes the delivered ghost stale
+        // (C001), the write lands between SR and DN (C005), and the source
+        // is volatile while in flight (W101).
+        let mut p = delivered_program();
+        let x = commopt_ir::ArrayId(0);
+        p.body
+            .0
+            .insert(3, Stmt::assign(region(), x, Expr::Const(2.0)));
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C001), 1, "{}", report.render());
+        assert_eq!(report.count(Code::C005), 1, "{}", report.render());
+        assert_eq!(report.count(Code::W101), 1, "{}", report.render());
+        let c001 = report.with_code(Code::C001).next().unwrap();
+        assert!(c001.message.contains("stale"), "{}", c001.message);
+    }
+
+    #[test]
+    fn dead_transfer_is_c002() {
+        let mut p = delivered_program();
+        // Drop the read: the transfer now delivers data nobody uses.
+        p.body.0.remove(4);
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C002), 1, "{}", report.render());
+        // Dead, but not illegal.
+        assert!(report.error_free());
+    }
+
+    #[test]
+    fn duplicate_quad_is_c003() {
+        // A second full quad for the same ref, before the read: its DN
+        // re-delivers valid data (C003); each transfer's calls still appear
+        // exactly once, so the protocol stays clean.
+        let mut p = delivered_program();
+        let x = commopt_ir::ArrayId(0);
+        let t2 = p.add_transfer(vec![TransferItem::new(x, compass::EAST, region())]);
+        for (at, kind) in [(4, CallKind::DR), (5, CallKind::SR), (6, CallKind::DN)] {
+            p.body.0.insert(at, Stmt::Comm { kind, transfer: t2 });
+        }
+        p.body.0.push(Stmt::Comm {
+            kind: CallKind::SV,
+            transfer: t2,
+        });
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C003), 1, "{}", report.render());
+        assert_eq!(report.count(Code::C006), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn missing_sr_is_c006() {
+        let mut p = delivered_program();
+        p.body.0.remove(2); // drop the SR
+        let report = lint(&p);
+        // DN-before-SR and SV-before-SR order violations, plus an SR
+        // multiplicity of 0 at the block flush — exactly what verify_plan
+        // reports for the same program.
+        assert_eq!(report.count(Code::C006), 3, "{}", report.render());
+        assert!(!report.error_free());
+    }
+
+    #[test]
+    fn combinable_transfers_are_c004() {
+        // Two east transfers of different arrays, both delivered before
+        // either use: max-combining would merge them.
+        let mut p = Program::new("combinable");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let y = p.add_array("Y", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t0 = p.add_transfer(vec![TransferItem::new(x, compass::EAST, region())]);
+        let t1 = p.add_transfer(vec![TransferItem::new(y, compass::EAST, region())]);
+        let quad = |t, kinds: &[CallKind]| -> Vec<Stmt> {
+            kinds
+                .iter()
+                .map(|&kind| Stmt::Comm { kind, transfer: t })
+                .collect()
+        };
+        let mut body = Vec::new();
+        body.push(Stmt::assign(region(), x, Expr::Const(1.0)));
+        body.push(Stmt::assign(region(), y, Expr::Const(2.0)));
+        body.extend(quad(t0, &[CallKind::DR, CallKind::SR, CallKind::DN]));
+        body.extend(quad(t1, &[CallKind::DR, CallKind::SR, CallKind::DN]));
+        body.push(Stmt::assign(
+            region(),
+            a,
+            Expr::at(x, compass::EAST) + Expr::at(y, compass::EAST),
+        ));
+        body.extend(quad(t0, &[CallKind::SV]));
+        body.extend(quad(t1, &[CallKind::SV]));
+        p.body = Block::new(body);
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C004), 1, "{}", report.render());
+        assert!(report.error_free());
+    }
+
+    #[test]
+    fn loop_carried_ghost_needs_redelivery() {
+        // The loop body writes X and reads X@east: delivering once before
+        // the loop is not enough — the loop-entry kill plus the back edge
+        // make the read uncovered.
+        let mut p = Program::new("carried");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(x, compass::EAST, region())]);
+        p.body = Block::new(vec![
+            Stmt::assign(region(), x, Expr::Const(1.0)),
+            Stmt::Comm {
+                kind: CallKind::DR,
+                transfer: t,
+            },
+            Stmt::Comm {
+                kind: CallKind::SR,
+                transfer: t,
+            },
+            Stmt::Comm {
+                kind: CallKind::DN,
+                transfer: t,
+            },
+            Stmt::Repeat {
+                count: 4,
+                body: Block::new(vec![Stmt::assign(region(), x, Expr::at(x, compass::EAST))]),
+            },
+            Stmt::Comm {
+                kind: CallKind::SV,
+                transfer: t,
+            },
+        ]);
+        let report = lint(&p);
+        assert_eq!(report.count(Code::C001), 1, "{}", report.render());
+        let d = report.with_code(Code::C001).next().unwrap();
+        assert_eq!(d.span.to_string(), "s4.0");
+    }
+
+    #[test]
+    fn report_renders_with_severity_and_span() {
+        let mut p = Program::new("missing");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        p.body = Block::new(vec![Stmt::assign(region(), a, Expr::at(x, compass::EAST))]);
+        let report = lint(&p);
+        let text = report.render();
+        assert!(text.starts_with("error[C001] s0: "), "{text}");
+        assert!(text.contains("1 error(s), 0 warning(s)"), "{text}");
+    }
+}

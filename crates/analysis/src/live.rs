@@ -1,0 +1,176 @@
+//! Backward ghost-region liveness — the dead-transfer side of commlint.
+//!
+//! A delivered ghost copy of `(array, offset)` is *live* at a point when
+//! some later read of that reference — with an overlapping region — can
+//! still see it before the array is redefined. The join is a *may* join
+//! (union): data is live if any path reads it. A DN whose items are all
+//! dead delivers data nobody reads: C002.
+//!
+//! Region overlap is what keeps the analysis conservative-but-sound: two
+//! constant regions conflict only when their rectangles intersect, and any
+//! loop-variable-relative region is assumed to overlap everything it might
+//! reach, so a transfer is flagged dead only when no read can possibly
+//! observe it.
+
+use crate::cfg::{Analysis, Cfg, Direction, Node, NodeOp};
+use crate::{Code, Diagnostic};
+use commopt_ir::analysis::CommRef;
+use commopt_ir::{ArrayId, CallKind, Program, Rect, Region};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The regions at which a reference is live.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct LiveRegions {
+    /// A read with a non-constant (loop-relative) region: overlaps any.
+    pub any: bool,
+    /// Constant read regions.
+    pub rects: Vec<Rect>,
+}
+
+impl LiveRegions {
+    fn add(&mut self, region: Option<Region>) {
+        match region.and_then(constant_rect) {
+            Some(rect) => {
+                if !self.rects.contains(&rect) {
+                    self.rects.push(rect);
+                }
+            }
+            None => self.any = true,
+        }
+    }
+
+    fn overlaps(&self, regions: &[Region]) -> bool {
+        if self.any {
+            return true;
+        }
+        // A transfer with no recorded use regions moves a whole ghost rim:
+        // treat it as overlapping any live read.
+        if regions.is_empty() {
+            return !self.rects.is_empty();
+        }
+        regions.iter().any(|&r| match constant_rect(r) {
+            None => !self.rects.is_empty(),
+            Some(rect) => self
+                .rects
+                .iter()
+                .any(|live| live.rank != rect.rank || !rect.intersect(live).is_empty()),
+        })
+    }
+}
+
+fn constant_rect(region: Region) -> Option<Rect> {
+    region
+        .is_constant()
+        .then(|| region.eval(&commopt_ir::LoopEnv::default()))
+}
+
+/// Backward state: live references with the regions still to be read.
+pub type LiveState = BTreeMap<CommRef, LiveRegions>;
+
+pub struct LiveAnalysis;
+
+impl Analysis for LiveAnalysis {
+    type State = LiveState;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> LiveState {
+        LiveState::new()
+    }
+
+    fn join(&self, a: &LiveState, b: &LiveState) -> LiveState {
+        let mut out = a.clone();
+        for (r, regions) in b {
+            let entry = out.entry(*r).or_default();
+            entry.any |= regions.any;
+            for rect in &regions.rects {
+                if !entry.rects.contains(rect) {
+                    entry.rects.push(*rect);
+                }
+            }
+        }
+        out
+    }
+
+    fn edge(&self, _kill: &BTreeSet<ArrayId>, state: LiveState) -> LiveState {
+        // Liveness needs no loop-edge kills: writes kill at their node.
+        state
+    }
+
+    fn transfer(&self, node: &Node, mut state: LiveState) -> LiveState {
+        if let NodeOp::Source {
+            refs,
+            region,
+            writes,
+        } = &node.op
+        {
+            // Backward through a statement: the write redefines the array
+            // (killing liveness of its ghosts), then the reads generate.
+            if let Some(w) = writes {
+                state.retain(|r, _| r.array != *w);
+            }
+            for r in refs {
+                state.entry(*r).or_default().add(*region);
+            }
+        }
+        state
+    }
+}
+
+/// Runs the liveness analysis and reports every C002 finding: a DN none of
+/// whose delivered items is read before redefinition.
+pub fn check(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let states = crate::cfg::solve(cfg, &LiveAnalysis);
+    for (ix, node) in cfg.nodes.iter().enumerate() {
+        let NodeOp::Comm {
+            kind: CallKind::DN,
+            transfer,
+            ..
+        } = &node.op
+        else {
+            continue;
+        };
+        // Backward "entering" state at a node is the program-order state
+        // *after* it — exactly the liveness of what this DN delivered.
+        let Some(after) = &states[ix] else { continue };
+        let t = program.transfer(*transfer);
+        let dead = t.items.iter().all(|item| {
+            let r = CommRef {
+                array: item.array,
+                offset: item.offset,
+            };
+            !after
+                .get(&r)
+                .map(|live| live.overlaps(&item.regions))
+                .unwrap_or(false)
+        });
+        if dead {
+            let names: Vec<String> = t
+                .items
+                .iter()
+                .map(|item| {
+                    crate::ref_name(
+                        program,
+                        CommRef {
+                            array: item.array,
+                            offset: item.offset,
+                        },
+                    )
+                })
+                .collect();
+            out.push(Diagnostic {
+                code: Code::C002,
+                span: node.span.clone(),
+                message: format!(
+                    "dead transfer: t{} delivers {} never read before redefinition",
+                    transfer.0,
+                    names.join(", ")
+                ),
+                transfer: Some(*transfer),
+                r: None,
+            });
+        }
+    }
+}

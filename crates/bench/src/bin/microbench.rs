@@ -90,6 +90,36 @@ fn main() {
         ]);
     }
 
+    // comm_refs over a wide expression: 2000 shifted references drawn from
+    // 8 distinct (array, offset) pairs — the shape that was quadratic
+    // before the dedup moved to an order-preserving set.
+    {
+        use commopt_ir::offset::compass;
+        use commopt_ir::{ArrayId, Expr};
+        let dirs = [compass::EAST, compass::WEST, compass::NORTH, compass::SOUTH];
+        let wide = (0..2000)
+            .map(|i| Expr::at(ArrayId(i % 2), dirs[(i as usize / 2) % 4]))
+            .reduce(|a, b| a + b)
+            .expect("non-empty");
+        let (med, min) = time_us(runs, || {
+            black_box(commopt_ir::comm_refs(black_box(&wide)));
+        });
+        t.row(&[
+            "comm_refs".into(),
+            "wide-2000x8".into(),
+            fmt_us(med),
+            fmt_us(min),
+        ]);
+    }
+
+    for b in suite() {
+        let opt = optimize(&b.program(), &OptConfig::pl());
+        let (med, min) = time_us(runs, || {
+            black_box(commopt_analysis::lint(black_box(&opt.program)));
+        });
+        t.row(&["commlint".into(), b.name.into(), fmt_us(med), fmt_us(min)]);
+    }
+
     for b in suite() {
         let opt = optimize(&b.program_with(32, 4), &OptConfig::pl());
         let (med, min) = time_us(runs, || {

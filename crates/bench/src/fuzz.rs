@@ -89,6 +89,24 @@ pub fn fuzz_case(
     let opt = optimize(&program, &exp.config());
     let machine = machine_for(lib);
 
+    // Invariant 0: the static analyzer and the dynamic plan checker agree.
+    // commlint's C001/C006/W101 classes mirror verify_plan's error set
+    // exactly, so one verdict without the other is a checker bug, not a
+    // plan bug — fail the case loudly either way.
+    let report = commopt_analysis::lint(&opt.program);
+    let static_errors = report.count(commopt_analysis::Code::C001)
+        + report.count(commopt_analysis::Code::C006)
+        + report.count(commopt_analysis::Code::W101);
+    let dynamic_ok = commopt_core::verify_plan(&opt.program).is_ok();
+    if (static_errors == 0) != dynamic_ok {
+        return Err(format!(
+            "static/dynamic divergence: commlint reports {static_errors} mirror finding(s) \
+             but verify_plan says {}:\n{}",
+            if dynamic_ok { "ok" } else { "error" },
+            report.render()
+        ));
+    }
+
     // Invariant 3 (checked once per case, on the first seed): the inert
     // plan is byte-identical to no plan at all.
     if seed == 0 {

@@ -25,6 +25,7 @@
 
 pub mod fuzz;
 pub mod json;
+pub mod lint;
 pub mod perf;
 pub mod report;
 

@@ -1,0 +1,69 @@
+//! commlint over the benchmark suite.
+//!
+//! Runs the static analyzer on every paper benchmark at every optimization
+//! level and tabulates the per-code finding counts. The table is the
+//! static-analysis companion to the Figure 8 count table: C003 counts the
+//! redundant communications a level has *not yet removed* (the rr
+//! headroom), C004 the merge opportunities still open (cc headroom), so
+//! reading a benchmark's row left to right shows the findings drain as the
+//! optimization levels stack — and hit zero at `pl`.
+
+use crate::Table;
+use commopt_analysis::{lint, Code, LintReport};
+use commopt_benchmarks::{suite, Benchmark, Experiment};
+use commopt_core::optimize;
+
+/// The optimization levels the lint table sweeps, in stacking order.
+pub const LEVELS: [Experiment; 4] = [
+    Experiment::Baseline,
+    Experiment::Rr,
+    Experiment::Cc,
+    Experiment::Pl,
+];
+
+/// Optimizes `bench` at level `exp` and lints the instrumented program.
+pub fn lint_at(bench: &Benchmark, exp: Experiment) -> LintReport {
+    let opt = optimize(&bench.program(), &exp.config());
+    lint(&opt.program)
+}
+
+/// The per-benchmark × per-level findings table (one row per benchmark ×
+/// level, one column per lint code, plus a total).
+pub fn findings_table() -> Table {
+    let mut t = Table::new(&[
+        "benchmark",
+        "level",
+        "C001",
+        "C002",
+        "C003",
+        "C004",
+        "C005",
+        "C006",
+        "W101",
+        "total",
+    ]);
+    for bench in suite() {
+        for exp in LEVELS {
+            let report = lint_at(&bench, exp);
+            let mut row = vec![bench.name.to_string(), exp.name().to_string()];
+            for code in Code::ALL {
+                row.push(report.count(code).to_string());
+            }
+            row.push(report.diagnostics.len().to_string());
+            t.row(&row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_a_row_per_benchmark_and_level() {
+        let t = findings_table();
+        assert_eq!(t.rows.len(), 4 * LEVELS.len());
+        assert_eq!(t.header.len(), 2 + Code::ALL.len() + 1);
+    }
+}

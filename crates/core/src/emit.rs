@@ -38,6 +38,18 @@ pub fn optimize_program(program: &Program, config: &OptConfig) -> Optimized {
     let body = std::mem::take(&mut out.body);
     let mut log = PassLog::new();
     out.body = rebuild_block(&mut out, &body, config, &mut log);
+    // In debug builds, cross-check the plan against the static analyzer:
+    // optimizer output must never carry an error-severity commlint finding
+    // (warnings are expected — e.g. C003/C004 headroom below `pl`).
+    #[cfg(debug_assertions)]
+    {
+        let report = commopt_analysis::lint(&out);
+        debug_assert!(
+            report.error_free(),
+            "optimizer produced a plan commlint rejects under {config:?}:\n{}",
+            report.render()
+        );
+    }
     Optimized {
         program: out,
         config: *config,

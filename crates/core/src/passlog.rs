@@ -31,6 +31,11 @@ pub enum PassEvent {
         use_stmt: usize,
         /// The generated communication whose data is reused.
         reused_seq: u32,
+        /// Block-local index of the statement the reused communication was
+        /// originally delivered for — the reaching definition of the ghost
+        /// data. The removal is legal exactly because no statement in
+        /// `delivered_stmt..use_stmt` writes `array`.
+        delivered_stmt: usize,
     },
     /// Combination: communication `merged_seq` was folded into `host_seq`
     /// (they share `offset`), admitted by `mode`.
@@ -154,14 +159,20 @@ impl PassLog {
                     offset,
                     use_stmt,
                     reused_seq,
+                    delivered_stmt,
                 } => {
                     let _ = writeln!(
                         out,
-                        "rr: removed {}{} at stmt {} (data still valid from {})",
+                        "rr: removed {}{} at stmt {} (data still valid from {}, \
+                         delivered for stmt {}; no write of {} in stmts {}..{})",
                         name(*array),
                         offset,
                         use_stmt,
                         t(*reused_seq),
+                        delivered_stmt,
+                        name(*array),
+                        delivered_stmt,
+                        use_stmt,
                     );
                 }
                 PassEvent::Combined {
@@ -264,6 +275,12 @@ mod tests {
         let rendered = opt.log.render(&opt.program);
         assert!(
             rendered.contains("rr: removed B@east at stmt 2"),
+            "{rendered}"
+        );
+        // The citation names the reaching delivery: the reused transfer was
+        // delivered for stmt 1, and B is unwritten in stmts 1..2.
+        assert!(
+            rendered.contains("delivered for stmt 1; no write of B in stmts 1..2"),
             "{rendered}"
         );
     }

@@ -133,6 +133,7 @@ fn generate(info: &BlockInfo, redundant_removal: bool, log: &mut PassLog) -> Vec
                         .iter_mut()
                         .find(|i| i.r == r)
                         .expect("valid map points at a comm carrying the ref");
+                    let delivered_stmt = item.first_use;
                     item.sv_cap = item.sv_cap.min(info.next_write_gap(r.array, s));
                     if let Some(region) = stmt.region {
                         if !item.regions.contains(&region) {
@@ -144,6 +145,7 @@ fn generate(info: &BlockInfo, redundant_removal: bool, log: &mut PassLog) -> Vec
                         offset: r.offset,
                         use_stmt: s,
                         reused_seq: comms[c].seq,
+                        delivered_stmt,
                     });
                     continue;
                 }

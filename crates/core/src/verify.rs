@@ -8,23 +8,27 @@
 //! the property tests in this crate (and the workspace integration tests)
 //! use it as an oracle against every optimizer configuration.
 
-use commopt_ir::analysis::{stmt_comm_refs, CommRef};
+use commopt_ir::analysis::{stmt_comm_refs, CommRef, Span};
 use commopt_ir::{ArrayId, Block, CallKind, Program, Stmt, TransferId};
 use std::collections::HashMap;
 
 /// A communication-safety violation.
+///
+/// Locations are [`Span`]s — the statement-index paths `commlint`
+/// (`commopt-analysis`) uses for its diagnostics — so the static and the
+/// dynamic checker report identical positions and the property tests can
+/// compare them structurally instead of by formatted text.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum PlanError {
     /// A non-local read with no covering transfer in the block.
-    MissingCommunication { stmt: String, r: String },
+    MissingCommunication { span: Span, r: CommRef },
     /// A non-local read whose ghost data is stale (the array was written
     /// after the covering transfer's SR).
-    StaleData { stmt: String, r: String },
-    /// A non-local read before the covering transfer's DN executed.
-    UsedBeforeDelivery { r: String },
+    StaleData { span: Span, r: CommRef },
     /// Calls of one transfer out of order (must satisfy DR ≤ SR ≤ DN and
     /// SR ≤ SV within the block).
     CallOrder {
+        span: Span,
         transfer: TransferId,
         detail: &'static str,
     },
@@ -32,35 +36,59 @@ pub enum PlanError {
     CallMultiplicity {
         transfer: TransferId,
         kind: CallKind,
+        count: u32,
     },
     /// An array carried by an in-flight message (SR seen, SV not yet) was
     /// overwritten.
     VolatileSource {
+        span: Span,
         transfer: TransferId,
         array: ArrayId,
     },
 }
 
+/// `a3@east`-style rendering of a reference (ids, not names — the error
+/// does not hold a program reference).
+fn fmt_ref(r: &CommRef) -> String {
+    format!("a{}{}", r.array.0, r.offset)
+}
+
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlanError::MissingCommunication { stmt, r } => {
-                write!(f, "no communication covers {r} used by {stmt}")
+            PlanError::MissingCommunication { span, r } => {
+                write!(f, "no communication covers {} read at {span}", fmt_ref(r))
             }
-            PlanError::StaleData { stmt, r } => {
-                write!(f, "stale ghost data for {r} used by {stmt}")
+            PlanError::StaleData { span, r } => {
+                write!(f, "stale ghost data for {} read at {span}", fmt_ref(r))
             }
-            PlanError::UsedBeforeDelivery { r } => {
-                write!(f, "{r} read before its transfer's DN")
+            PlanError::CallOrder {
+                span,
+                transfer,
+                detail,
+            } => {
+                write!(f, "calls of {transfer:?} out of order at {span}: {detail}")
             }
-            PlanError::CallOrder { transfer, detail } => {
-                write!(f, "calls of {transfer:?} out of order: {detail}")
+            PlanError::CallMultiplicity {
+                transfer,
+                kind,
+                count,
+            } => {
+                write!(
+                    f,
+                    "{transfer:?} has {count} {} call(s) in its block (expected 1)",
+                    kind.name()
+                )
             }
-            PlanError::CallMultiplicity { transfer, kind } => {
-                write!(f, "{transfer:?} has wrong multiplicity of {}", kind.name())
-            }
-            PlanError::VolatileSource { transfer, array } => {
-                write!(f, "{array:?} overwritten while {transfer:?} in flight")
+            PlanError::VolatileSource {
+                span,
+                transfer,
+                array,
+            } => {
+                write!(
+                    f,
+                    "{array:?} overwritten at {span} while {transfer:?} in flight"
+                )
             }
         }
     }
@@ -81,6 +109,7 @@ pub fn verify_plan(program: &Program) -> Result<(), Vec<PlanError>> {
     verify_block(
         program,
         &program.body,
+        &Span::root(),
         &mut versions,
         &mut ghosts,
         &mut errs,
@@ -90,19 +119,6 @@ pub fn verify_plan(program: &Program) -> Result<(), Vec<PlanError>> {
     } else {
         Err(errs)
     }
-}
-
-/// All arrays written anywhere in a block tree.
-fn written_in(block: &Block) -> Vec<ArrayId> {
-    let mut out = Vec::new();
-    commopt_ir::visit::walk_stmts(block, &mut |s, _| {
-        if let Some(a) = commopt_ir::arrays_written(s) {
-            if !out.contains(&a) {
-                out.push(a);
-            }
-        }
-    });
-    out
 }
 
 #[derive(Default)]
@@ -118,6 +134,7 @@ struct TransferState {
 fn verify_block(
     program: &Program,
     block: &Block,
+    prefix: &Span,
     versions: &mut HashMap<ArrayId, u64>,
     ghosts: &mut HashMap<CommRef, (TransferId, u64)>,
     errs: &mut Vec<PlanError>,
@@ -135,13 +152,18 @@ fn verify_block(
                 (CallKind::SV, st.sv),
             ] {
                 if n != 1 {
-                    errs.push(PlanError::CallMultiplicity { transfer: id, kind });
+                    errs.push(PlanError::CallMultiplicity {
+                        transfer: id,
+                        kind,
+                        count: n,
+                    });
                 }
             }
         }
     };
 
-    for stmt in block.iter() {
+    for (i, stmt) in block.iter().enumerate() {
+        let span = prefix.child(i);
         match stmt {
             Stmt::Comm { kind, transfer } => {
                 let st = transfers.entry(*transfer).or_default();
@@ -150,6 +172,7 @@ fn verify_block(
                     CallKind::SR => {
                         if st.dr == 0 {
                             errs.push(PlanError::CallOrder {
+                                span: span.clone(),
                                 transfer: *transfer,
                                 detail: "SR before DR",
                             });
@@ -165,6 +188,7 @@ fn verify_block(
                     CallKind::DN => {
                         if st.sr == 0 {
                             errs.push(PlanError::CallOrder {
+                                span: span.clone(),
                                 transfer: *transfer,
                                 detail: "DN before SR",
                             });
@@ -189,6 +213,7 @@ fn verify_block(
                     CallKind::SV => {
                         if st.sr == 0 {
                             errs.push(PlanError::CallOrder {
+                                span: span.clone(),
                                 transfer: *transfer,
                                 detail: "SV before SR",
                             });
@@ -200,9 +225,9 @@ fn verify_block(
             Stmt::Repeat { body, .. } | Stmt::For { body, .. } => {
                 // Conservative loop entry: every ghost whose array the body
                 // writes may be stale on later iterations.
-                let killed = written_in(body);
+                let killed = commopt_ir::written_arrays(body);
                 ghosts.retain(|r, _| !killed.contains(&r.array));
-                verify_block(program, body, versions, ghosts, errs);
+                verify_block(program, body, &span, versions, ghosts, errs);
                 ghosts.retain(|r, _| !killed.contains(&r.array));
             }
             source => {
@@ -210,15 +235,15 @@ fn verify_block(
                 for r in stmt_comm_refs(source) {
                     match ghosts.get(&r) {
                         None => errs.push(PlanError::MissingCommunication {
-                            stmt: format!("{source:?}"),
-                            r: format!("{r:?}"),
+                            span: span.clone(),
+                            r,
                         }),
                         Some((_, v_sr)) => {
                             let now = *versions.get(&r.array).unwrap_or(&0);
                             if *v_sr != now {
                                 errs.push(PlanError::StaleData {
-                                    stmt: format!("{source:?}"),
-                                    r: format!("{r:?}"),
+                                    span: span.clone(),
+                                    r,
                                 });
                             }
                         }
@@ -235,6 +260,7 @@ fn verify_block(
                             && program.transfer(*id).items.iter().any(|it| it.array == w)
                         {
                             errs.push(PlanError::VolatileSource {
+                                span: span.clone(),
                                 transfer: *id,
                                 array: w,
                             });
@@ -448,10 +474,44 @@ mod tests {
     #[test]
     fn error_display_renders() {
         let e = PlanError::CallOrder {
+            span: commopt_ir::Span::root().child(2).child(1),
             transfer: TransferId(3),
             detail: "DN before SR",
         };
-        assert!(e.to_string().contains("DN before SR"));
+        let text = e.to_string();
+        assert!(text.contains("DN before SR"), "{text}");
+        assert!(text.contains("s2.1"), "{text}");
+    }
+
+    #[test]
+    fn errors_carry_statement_spans() {
+        // The stale read sits at top-level statement 5.
+        let mut p = Program::new("bad");
+        let x = p.add_array("X", Rect::d2((1, 8), (1, 8)));
+        let a = p.add_array("A", Rect::d2((1, 8), (1, 8)));
+        let t = p.add_transfer(vec![TransferItem::new(
+            x,
+            compass::EAST,
+            Region::d2((1, 4), (1, 4)),
+        )]);
+        let r = Region::d2((2, 7), (2, 7));
+        p.body = Block::new(vec![
+            Stmt::comm(CallKind::DR, t),
+            Stmt::comm(CallKind::SR, t),
+            Stmt::comm(CallKind::DN, t),
+            Stmt::comm(CallKind::SV, t),
+            Stmt::assign(r, x, Expr::Const(2.0)),
+            Stmt::assign(r, a, Expr::at(x, compass::EAST)),
+        ]);
+        let errs = verify_plan(&p).unwrap_err();
+        let Some(PlanError::StaleData { span, r: comm_ref }) = errs
+            .iter()
+            .find(|e| matches!(e, PlanError::StaleData { .. }))
+        else {
+            panic!("expected StaleData: {errs:?}");
+        };
+        assert_eq!(span.to_string(), "s5");
+        assert_eq!(comm_ref.array, x);
     }
 
     use commopt_ir::{Block, CallKind, Stmt};

@@ -1,9 +1,76 @@
-//! Statement-level dataflow queries used by the communication optimizer.
+//! Statement-level dataflow queries used by the communication optimizer
+//! and the static analyzer.
 
 use crate::expr::{Expr, ScalarRhs};
 use crate::ids::ArrayId;
 use crate::offset::Offset;
-use crate::stmt::Stmt;
+use crate::stmt::{Block, Stmt};
+use std::collections::{BTreeSet, HashSet};
+
+/// The location of a statement: its path of statement indices from the
+/// program body down through nested loop bodies. `s2.1.0` is statement 0
+/// of the body of statement 1 of the body of top-level statement 2.
+///
+/// Spans are shared by `verify_plan` and `commlint` so both tools print
+/// identical locations, and they order the way structured control flow
+/// executes: the derived `Ord` is lexicographic with a prefix ordering
+/// shorter-first, which is exactly program pre-order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub struct Span(Vec<u32>);
+
+impl Span {
+    /// The empty path — the program body itself, parent of the top-level
+    /// statements. Never the span of a statement.
+    pub fn root() -> Span {
+        Span(Vec::new())
+    }
+
+    /// The span of statement `index` inside the block this span names.
+    pub fn child(&self, index: usize) -> Span {
+        let mut path = self.0.clone();
+        path.push(index as u32);
+        Span(path)
+    }
+
+    /// The statement-index path from the program body.
+    pub fn path(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Loop nesting depth: 0 for a top-level statement.
+    pub fn depth(&self) -> usize {
+        self.0.len().saturating_sub(1)
+    }
+
+    /// `true` when the statement at `self` executes before the statement
+    /// at `other` on every path that reaches `other`.
+    ///
+    /// With structured `Repeat`/`For` control flow (no branches) this is a
+    /// pure path comparison: `self` dominates `other` iff it is a proper
+    /// prefix (a loop statement dominates its body) or lexicographically
+    /// earlier. Loops are assumed to run at least one iteration — the same
+    /// convention `verify_plan` uses when it threads ghost state through a
+    /// loop body once.
+    pub fn dominates(&self, other: &Span) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "s<body>");
+        }
+        write!(f, "s")?;
+        for (i, ix) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{ix}")?;
+        }
+        Ok(())
+    }
+}
 
 /// A non-local array reference: the pair the optimizer reasons about.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -15,7 +82,10 @@ pub struct CommRef {
 /// The distinct non-zero-offset references of an expression, in first-use
 /// order (the order naive communication generation emits them).
 pub fn comm_refs(expr: &Expr) -> Vec<CommRef> {
+    // Order-preserving set: the Vec keeps first-use order, the HashSet
+    // makes membership O(1) so wide expressions stay linear.
     let mut out: Vec<CommRef> = Vec::new();
+    let mut seen: HashSet<CommRef> = HashSet::new();
     expr.walk(&mut |e| {
         if let Expr::Ref { array, offset } = e {
             if !offset.is_zero() {
@@ -23,7 +93,7 @@ pub fn comm_refs(expr: &Expr) -> Vec<CommRef> {
                     array: *array,
                     offset: *offset,
                 };
-                if !out.contains(&r) {
+                if seen.insert(r) {
                     out.push(r);
                 }
             }
@@ -65,6 +135,19 @@ pub fn arrays_written(stmt: &Stmt) -> Option<ArrayId> {
         Stmt::Assign { lhs, .. } => Some(*lhs),
         _ => None,
     }
+}
+
+/// All arrays written anywhere in a block tree — the kill set a loop
+/// boundary applies to carried ghost data (used by both `verify_plan` and
+/// the static analyzer's loop-edge transfer functions).
+pub fn written_arrays(block: &Block) -> BTreeSet<ArrayId> {
+    let mut out = BTreeSet::new();
+    crate::visit::walk_stmts(block, &mut |s, _| {
+        if let Some(a) = arrays_written(s) {
+            out.insert(a);
+        }
+    });
+    out
 }
 
 /// A rough per-element floating-point operation count for an expression —
@@ -157,6 +240,65 @@ mod tests {
         if let Stmt::Assign { rhs, .. } = &s {
             assert_eq!(arrays_read(rhs), vec![ArrayId(1), ArrayId(2)]);
         }
+    }
+
+    #[test]
+    fn span_displays_as_dotted_path() {
+        let s = Span::root().child(2).child(1).child(0);
+        assert_eq!(s.to_string(), "s2.1.0");
+        assert_eq!(s.depth(), 2);
+        assert_eq!(Span::root().to_string(), "s<body>");
+    }
+
+    #[test]
+    fn span_dominance_is_preorder() {
+        let root = Span::root();
+        let s0 = root.child(0);
+        let s0_3 = s0.child(3);
+        let s1 = root.child(1);
+        let s2 = root.child(2);
+        // A loop statement dominates its body.
+        assert!(s0.dominates(&s0_3));
+        assert!(!s0_3.dominates(&s0));
+        // Earlier statements dominate later ones at the same level.
+        assert!(s1.dominates(&s2));
+        assert!(!s2.dominates(&s1));
+        // A loop body (>= 1 trip) dominates statements after the loop.
+        assert!(s0_3.dominates(&s1));
+        // Nothing dominates itself.
+        assert!(!s1.dominates(&s1.clone()));
+        // Within the same loop, a later body statement does not dominate an
+        // earlier one (the earlier one runs first on every iteration).
+        assert!(!s0.child(5).dominates(&s0_3));
+    }
+
+    #[test]
+    fn written_arrays_collects_nested_writes() {
+        let r = Region::d2((1, 4), (1, 4));
+        let block = Block::new(vec![
+            Stmt::assign(r, ArrayId(0), Expr::Const(1.0)),
+            Stmt::Repeat {
+                count: 2,
+                body: Block::new(vec![Stmt::assign(r, ArrayId(2), Expr::Const(2.0))]),
+            },
+        ]);
+        let w = written_arrays(&block);
+        assert!(w.contains(&ArrayId(0)) && w.contains(&ArrayId(2)));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn comm_refs_is_linear_on_wide_expressions() {
+        // 2000 refs over 8 distinct (array, offset) pairs: the order must
+        // still be first-use order.
+        let mut e = shifted(0, compass::EAST);
+        for i in 1..2000u32 {
+            e = e + shifted(i % 8, compass::EAST);
+        }
+        let refs = comm_refs(&e);
+        assert_eq!(refs.len(), 8);
+        assert_eq!(refs[0].array, ArrayId(0));
+        assert_eq!(refs[1].array, ArrayId(1));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod stmt;
 pub mod validate;
 pub mod visit;
 
-pub use analysis::{arrays_written, comm_refs, expr_flops, CommRef};
+pub use analysis::{arrays_written, comm_refs, expr_flops, written_arrays, CommRef, Span};
 pub use builder::ProgramBuilder;
 pub use comm::{CallKind, Transfer, TransferId, TransferItem};
 pub use expr::{BinOp, Expr, ReduceOp, ScalarRhs, UnaryOp};

@@ -1,0 +1,31 @@
+-- A small stencil program for the commlint CLI and the CI lint gate.
+--
+--   cargo run -p commopt-bench --bin lint -- examples/stencil.zpl --all
+--
+-- At the vectorization-only level the linter reports the headroom the
+-- later passes consume: the B@east re-read is C003 (the rr pass removes
+-- it) and the A@east/B@east pair is C004 (the cc pass merges them). At
+-- `pl` the program lints clean, which is what the CI gate asserts with
+-- `--deny-warnings`.
+
+program stencil;
+
+config n     = 32;
+config iters = 10;
+
+region R        = [1..n, 1..n];
+region Interior = [2..n-1, 2..n-1];
+
+direction east = [0, 1];
+direction west = [0, -1];
+
+var A, B, C : [R] double;
+
+begin
+  [R] A := Index1 + Index2 / n;
+  [R] B := Index2 - Index1 / n;
+  repeat iters {
+    [Interior] C := A@east + B@east;   -- two combinable transfers
+    [Interior] A := B@east + C@west;   -- B@east again: redundant at vect
+  }
+end
