@@ -4,18 +4,22 @@
 //! that a deliberately broken binding is caught by the safety checker.
 //!
 //! ```text
-//! fuzz [--seeds N]
+//! fuzz [--seeds N] [--jobs N]
 //! ```
 //!
 //! Exits nonzero if any case fails; each failure line names the case and
-//! seed, a complete deterministic reproduction recipe.
+//! seed, a complete deterministic reproduction recipe. Cases fan out over
+//! `--jobs` worker threads (default: the machine's cores, or
+//! `COMMOPT_JOBS`); the report is identical whatever the worker count.
 
 use commopt_bench::fuzz::{broken_binding_is_caught, matrix, run_fuzz, EXPERIMENTS};
 use commopt_bench::Table;
 use commopt_ironman::Library;
+use commopt_testkit::pool;
 
 fn main() {
     let mut seeds = 3u64;
+    let mut jobs: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -25,26 +29,39 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .ok_or_else(|| "--jobs needs a value".to_string())
+                        .and_then(|v| pool::parse_jobs(&v))
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("usage: fuzz [--seeds N]");
+                eprintln!("usage: fuzz [--seeds N] [--jobs N]");
                 return;
             }
             other => {
-                eprintln!("unknown argument '{other}' (usage: fuzz [--seeds N])");
+                eprintln!("unknown argument '{other}' (usage: fuzz [--seeds N] [--jobs N])");
                 std::process::exit(2);
             }
         }
     }
+    let jobs = pool::resolve_jobs(jobs);
 
     println!(
-        "schedule fuzz: {} benchmarks x {} experiments x {} bindings x {} seed(s)\n",
+        "schedule fuzz: {} benchmarks x {} experiments x {} bindings x {} seed(s), {} job(s)\n",
         commopt_benchmarks::suite().len(),
         EXPERIMENTS.len(),
         Library::ALL.len(),
         seeds,
+        jobs,
     );
 
-    let sweep = run_fuzz(seeds);
+    let sweep = run_fuzz(seeds, jobs);
 
     // Coverage table: one row per benchmark/experiment, one column block
     // per binding, PASS/FAIL per cell.

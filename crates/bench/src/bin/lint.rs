@@ -20,10 +20,11 @@ use commopt_benchmarks::{suite, Experiment};
 use commopt_core::optimize;
 use commopt_ir::Program;
 use commopt_lang::Frontend;
+use commopt_testkit::pool::{self, Pool};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: lint [<tomcatv|swm|simple|sp|PATH.zpl> ...] [--exp EXP] [--all] \
-                     [--deny-warnings] [--table]";
+                     [--deny-warnings] [--table] [--jobs N]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -43,6 +44,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
     let mut all_levels = false;
     let mut deny_warnings = false;
     let mut table = false;
+    let mut jobs: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -52,6 +54,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--all" => all_levels = true,
             "--deny-warnings" => deny_warnings = true,
             "--table" => table = true,
+            "--jobs" => jobs = Some(pool::parse_jobs(&value("--jobs")?)?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(true);
@@ -60,9 +63,13 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
+    let jobs = pool::resolve_jobs(jobs);
 
     if table {
-        print!("{}", commopt_bench::lint::findings_table().render());
+        print!(
+            "{}",
+            commopt_bench::lint::findings_table_jobs(jobs).render()
+        );
         return Ok(true);
     }
 
@@ -91,17 +98,27 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         vec![parse_exp(&exp)?]
     };
 
-    let mut ok = true;
+    // Optimize+lint every program × level cell on the pool; reports are
+    // collected by cell index, so the printed order matches a serial run.
+    let mut cells: Vec<(&str, &Program, Experiment)> = Vec::new();
     for (name, program) in &programs {
         for level in &levels {
-            let opt = optimize(program, &level.config());
-            let report = lint(&opt.program);
-            println!("== {name} @ {} ==", level.name());
-            print!("{}", report.render());
-            if !report.error_free() || (deny_warnings && !report.clean()) {
-                ok = false;
-            }
+            cells.push((name, program, *level));
         }
+    }
+    let reports = Pool::new(jobs).map(cells, |_, (name, program, level)| {
+        let opt = optimize(program, &level.config());
+        let report = lint(&opt.program);
+        let ok = report.error_free() && (!deny_warnings || report.clean());
+        (
+            format!("== {name} @ {} ==\n{}", level.name(), report.render()),
+            ok,
+        )
+    });
+    let mut ok = true;
+    for (text, cell_ok) in reports {
+        print!("{text}");
+        ok &= cell_ok;
     }
     Ok(ok)
 }

@@ -15,10 +15,11 @@
 //! `perfdiff` binary.
 
 use commopt_bench::perf::{to_json, Mode, Snapshot};
+use commopt_testkit::pool;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: perf [--quick|--standard|--paper] [--out PATH] [--rev REV] [--strip-wall]";
+const USAGE: &str = "usage: perf [--quick|--standard|--paper] [--out PATH] [--rev REV] \
+     [--strip-wall] [--jobs N]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -36,6 +37,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut rev: Option<String> = None;
     let mut strip_wall = false;
+    let mut jobs: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -48,6 +50,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--out" => out_path = Some(value("--out")?),
             "--rev" => rev = Some(value("--rev")?),
             "--strip-wall" => strip_wall = true,
+            "--jobs" => jobs = Some(pool::parse_jobs(&value("--jobs")?)?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -58,12 +61,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     let rev = rev.unwrap_or_else(git_rev);
     let out_path = out_path.unwrap_or_else(|| format!("results/BENCH_{rev}.json"));
+    let jobs = pool::resolve_jobs(jobs);
 
     eprintln!(
-        "perf: collecting {} snapshot (4 benchmarks x 4 experiments x 2 machines)...",
+        "perf: collecting {} snapshot (4 benchmarks x 4 experiments x 2 machines, {jobs} job(s))...",
         mode.name()
     );
-    let mut snap = Snapshot::collect(mode, &rev);
+    let snap_full = Snapshot::collect(mode, &rev, jobs);
+    eprintln!(
+        "perf: wall {:.1} ms, serial-equivalent {:.1} ms — {:.2}x speedup with {jobs} job(s)",
+        snap_full.wall_us / 1e3,
+        snap_full.cells_wall_us / 1e3,
+        snap_full.speedup()
+    );
+    let mut snap = snap_full;
     if strip_wall {
         snap.strip_volatile();
     }

@@ -1,6 +1,12 @@
 //! Runs the complete reproduction — every figure and table — and tees the
 //! output into `results/<name>.txt`.
+//!
+//! The figure binaries are independent processes, so they fan out over
+//! `--jobs` worker threads (default: the machine's cores, or
+//! `COMMOPT_JOBS`); outputs are printed and written in the fixed binary
+//! order regardless of completion order.
 
+use commopt_testkit::pool::{self, Pool};
 use std::fs;
 use std::path::Path;
 use std::process::Command;
@@ -21,21 +27,56 @@ const BINARIES: &[&str] = &[
 ];
 
 fn main() {
+    let mut jobs: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .ok_or_else(|| "--jobs needs a value".to_string())
+                        .and_then(|v| pool::parse_jobs(&v))
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro_all [--jobs N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: repro_all [--jobs N])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let jobs = pool::resolve_jobs(jobs);
+
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results dir");
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir");
 
-    for name in BINARIES {
+    let t0 = std::time::Instant::now();
+    let outputs = Pool::new(jobs).map(BINARIES.to_vec(), |_, name| {
         let exe = bin_dir.join(name);
-        println!("==> {name}");
         let output = Command::new(&exe)
             .output()
             .unwrap_or_else(|e| panic!("failed to run {}: {e}", exe.display()));
         assert!(output.status.success(), "{name} failed");
-        let text = String::from_utf8_lossy(&output.stdout);
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    });
+    for (name, text) in BINARIES.iter().zip(&outputs) {
+        println!("==> {name}");
         println!("{text}");
         fs::write(out_dir.join(format!("{name}.txt")), text.as_bytes()).expect("write result file");
     }
+    eprintln!(
+        "repro_all: {} binaries in {:.1} s with {jobs} job(s)",
+        BINARIES.len(),
+        t0.elapsed().as_secs_f64()
+    );
     println!("All results written to {}/", out_dir.display());
 }

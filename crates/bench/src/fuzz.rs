@@ -23,7 +23,7 @@ use commopt_ir::CallKind;
 use commopt_ironman::{Action, Library};
 use commopt_machine::MachineSpec;
 use commopt_sim::{FaultPlan, SafetyViolation, SeqInterp, SimConfig, SimError, Simulator};
-use commopt_testkit::fuzz::{sweep, Sweep};
+use commopt_testkit::fuzz::{sweep_jobs, Sweep};
 
 /// Small problem size: large enough that every benchmark communicates in
 /// every direction, small enough that the full matrix stays fast.
@@ -167,11 +167,14 @@ pub fn fuzz_case(
     Ok(())
 }
 
-/// Runs the whole fuzz matrix under seeds `0..seeds`.
-pub fn run_fuzz(seeds: u64) -> Sweep {
+/// Runs the whole fuzz matrix under seeds `0..seeds`, fanned over `jobs`
+/// worker threads. Cases are independent (each builds its own program and
+/// fault state), and the sweep reports failures in case order whatever the
+/// worker count.
+pub fn run_fuzz(seeds: u64, jobs: usize) -> Sweep {
     let cases = matrix();
     let names: Vec<String> = cases.iter().map(|(n, ..)| n.clone()).collect();
-    sweep(&names, seeds, |name, seed| {
+    sweep_jobs(&names, seeds, jobs, |name, seed| {
         let (_, bench, exp, lib) = cases
             .iter()
             .find(|(n, ..)| n == name)

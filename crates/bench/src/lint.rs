@@ -12,6 +12,7 @@ use crate::Table;
 use commopt_analysis::{lint, Code, LintReport};
 use commopt_benchmarks::{suite, Benchmark, Experiment};
 use commopt_core::optimize;
+use commopt_testkit::pool::Pool;
 
 /// The optimization levels the lint table sweeps, in stacking order.
 pub const LEVELS: [Experiment; 4] = [
@@ -30,6 +31,13 @@ pub fn lint_at(bench: &Benchmark, exp: Experiment) -> LintReport {
 /// The per-benchmark × per-level findings table (one row per benchmark ×
 /// level, one column per lint code, plus a total).
 pub fn findings_table() -> Table {
+    findings_table_jobs(1)
+}
+
+/// [`findings_table`] with the benchmark × level cells fanned over `jobs`
+/// worker threads. Rows land in matrix order regardless of worker count,
+/// so the rendered table is identical to the serial one.
+pub fn findings_table_jobs(jobs: usize) -> Table {
     let mut t = Table::new(&[
         "benchmark",
         "level",
@@ -42,16 +50,24 @@ pub fn findings_table() -> Table {
         "W101",
         "total",
     ]);
-    for bench in suite() {
+    let benches = suite();
+    let mut cells: Vec<(&Benchmark, Experiment)> = Vec::new();
+    for bench in &benches {
         for exp in LEVELS {
-            let report = lint_at(&bench, exp);
-            let mut row = vec![bench.name.to_string(), exp.name().to_string()];
-            for code in Code::ALL {
-                row.push(report.count(code).to_string());
-            }
-            row.push(report.diagnostics.len().to_string());
-            t.row(&row);
+            cells.push((bench, exp));
         }
+    }
+    let rows = Pool::new(jobs).map(cells, |_, (bench, exp)| {
+        let report = lint_at(bench, exp);
+        let mut row = vec![bench.name.to_string(), exp.name().to_string()];
+        for code in Code::ALL {
+            row.push(report.count(code).to_string());
+        }
+        row.push(report.diagnostics.len().to_string());
+        row
+    });
+    for row in rows {
+        t.row(&row);
     }
     t
 }

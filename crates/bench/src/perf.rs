@@ -28,6 +28,7 @@ use commopt_core::optimize;
 use commopt_ironman::Library;
 use commopt_machine::MachineSpec;
 use commopt_sim::{Histogram, SimConfig, Simulator};
+use commopt_testkit::pool::Pool;
 
 /// Bumped whenever the snapshot format changes incompatibly; `perfdiff`
 /// refuses to compare documents with different schemas.
@@ -112,9 +113,13 @@ pub struct PerfRow {
     /// The busiest directed link, as `p<from>->p<to>`; absent when the run
     /// moved no data.
     pub hotspot_link: Option<String>,
-    /// Optimizer wall-clock, µs. The snapshot's only volatile field:
-    /// zeroed by [`Snapshot::strip_volatile`], never gated by [`diff`].
+    /// Optimizer wall-clock, µs. Volatile: zeroed by
+    /// [`Snapshot::strip_volatile`], never gated by [`diff`].
     pub opt_wall_us: f64,
+    /// Whole-cell harness wall-clock (optimize + simulate + metric
+    /// extraction), µs. Volatile and informational, like `opt_wall_us`;
+    /// summed across rows it is the serial-equivalent cost of the matrix.
+    pub cell_wall_us: f64,
     /// Per-IRONMAN-call latency histograms, name-ordered.
     pub hists: Vec<HistEntry>,
 }
@@ -135,6 +140,13 @@ pub struct Snapshot {
     pub mode: String,
     pub size: i64,
     pub iters: i64,
+    /// Harness wall-clock for the whole matrix, µs. Volatile and
+    /// informational — the only field that reflects the worker count.
+    pub wall_us: f64,
+    /// Sum of the rows' `cell_wall_us`, µs: what a single worker would
+    /// have spent. Volatile; `cells_wall_us / wall_us` is the harness
+    /// speedup (see [`Snapshot::speedup`]).
+    pub cells_wall_us: f64,
     pub rows: Vec<PerfRow>,
 }
 
@@ -142,40 +154,58 @@ impl Snapshot {
     /// Runs the whole matrix — every benchmark in Figure 7 order, every
     /// experiment of [`EXPERIMENTS`], on the T3D (PVM) and the Paragon
     /// (NX `csend`/`crecv`) — with metrics enabled, and collects the rows.
-    pub fn collect(mode: Mode, rev: &str) -> Snapshot {
+    ///
+    /// The matrix cells are independent, so they fan out over `jobs`
+    /// worker threads; rows are collected by cell index, so every worker
+    /// count yields the same snapshot (byte-identical after
+    /// [`Snapshot::strip_volatile`]).
+    pub fn collect(mode: Mode, rev: &str, jobs: usize) -> Snapshot {
         let (size, iters, procs) = mode.sizing();
-        let mut rows = Vec::new();
-        for bench in suite() {
+        let t0 = std::time::Instant::now();
+        let benches = suite();
+        let mut cells: Vec<(&Benchmark, Experiment, &str, &str)> = Vec::new();
+        for bench in &benches {
             for (exp, exp_name) in EXPERIMENTS {
                 for machine_name in ["t3d", "paragon"] {
-                    rows.push(collect_row(
-                        &bench,
-                        exp,
-                        exp_name,
-                        machine_name,
-                        size,
-                        iters,
-                        procs,
-                    ));
+                    cells.push((bench, exp, exp_name, machine_name));
                 }
             }
         }
+        let rows = Pool::new(jobs).map(cells, |_, (bench, exp, exp_name, machine_name)| {
+            collect_row(bench, exp, exp_name, machine_name, size, iters, procs)
+        });
         Snapshot {
             schema: SCHEMA_VERSION,
             rev: rev.to_string(),
             mode: mode.name().to_string(),
             size,
             iters,
+            wall_us: t0.elapsed().as_secs_f64() * 1e6,
+            cells_wall_us: rows.iter().map(|r| r.cell_wall_us).sum(),
             rows,
         }
     }
 
-    /// Zeroes the volatile fields (optimizer wall-clock), after which two
-    /// snapshots of the same build are byte-identical. Committed baselines
-    /// are stored stripped.
+    /// Zeroes the volatile fields (optimizer and harness wall-clocks),
+    /// after which two snapshots of the same build are byte-identical —
+    /// whatever the worker count. Committed baselines are stored stripped.
     pub fn strip_volatile(&mut self) {
+        self.wall_us = 0.0;
+        self.cells_wall_us = 0.0;
         for row in &mut self.rows {
             row.opt_wall_us = 0.0;
+            row.cell_wall_us = 0.0;
+        }
+    }
+
+    /// Serial-equivalent speedup of the harness run: the summed per-cell
+    /// wall time against the actual wall time. ~1.0 with one worker; up to
+    /// the worker count when the cells spread evenly.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_us > 0.0 {
+            self.cells_wall_us / self.wall_us
+        } else {
+            0.0
         }
     }
 
@@ -199,6 +229,7 @@ fn collect_row(
         "paragon" => (MachineSpec::paragon(), Library::NxSync),
         other => panic!("unknown machine '{other}'"),
     };
+    let cell_t0 = std::time::Instant::now();
     let program = if size == 0 {
         bench.program()
     } else {
@@ -232,6 +263,7 @@ fn collect_row(
         hotspot_busy_us: m.registry.gauge("mesh.hotspot_busy_us").unwrap_or(0.0),
         hotspot_link: hotspot.map(|(l, _)| l.to_string()),
         opt_wall_us,
+        cell_wall_us: cell_t0.elapsed().as_secs_f64() * 1e6,
         hists: m
             .registry
             .hists()
@@ -268,6 +300,11 @@ pub fn to_json(s: &Snapshot) -> String {
     out.push_str(&format!("  \"mode\": {},\n", quote(&s.mode)));
     out.push_str(&format!("  \"size\": {},\n", s.size));
     out.push_str(&format!("  \"iters\": {},\n", s.iters));
+    out.push_str(&format!("  \"wall_us\": {},\n", fmt_f64(s.wall_us)));
+    out.push_str(&format!(
+        "  \"cells_wall_us\": {},\n",
+        fmt_f64(s.cells_wall_us)
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, row) in s.rows.iter().enumerate() {
         out.push_str("    ");
@@ -306,6 +343,7 @@ fn write_row(out: &mut String, r: &PerfRow) {
         None => out.push_str("\"hotspot_link\": null, "),
     }
     out.push_str(&format!("\"opt_wall_us\": {}, ", fmt_f64(r.opt_wall_us)));
+    out.push_str(&format!("\"cell_wall_us\": {}, ", fmt_f64(r.cell_wall_us)));
     out.push_str("\"hists\": [");
     for (i, e) in r.hists.iter().enumerate() {
         if i > 0 {
@@ -399,6 +437,10 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
         mode: get_str(&doc, "mode")?,
         size: get_f64(&doc, "size")? as i64,
         iters: get_f64(&doc, "iters")? as i64,
+        // Wall-clock fields are volatile and informational; snapshots
+        // written before they existed (the committed baseline) read as 0.
+        wall_us: get_f64_or(&doc, "wall_us", 0.0)?,
+        cells_wall_us: get_f64_or(&doc, "cells_wall_us", 0.0)?,
         rows,
     })
 }
@@ -439,6 +481,7 @@ fn parse_row(r: &Json) -> Result<PerfRow, String> {
             ),
         },
         opt_wall_us: get_f64(r, "opt_wall_us")?,
+        cell_wall_us: get_f64_or(r, "cell_wall_us", 0.0)?,
         hists,
     })
 }
@@ -496,6 +539,16 @@ fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("missing number '{key}'"))
+}
+
+/// Like [`get_f64`], but an *absent* key yields `default` (a present
+/// non-number is still an error) — for fields added after snapshots were
+/// first committed.
+fn get_f64_or(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_f64().ok_or_else(|| format!("bad number '{key}'")),
+    }
 }
 
 fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
@@ -681,6 +734,12 @@ fn row_metrics(old: &PerfRow, new: &PerfRow) -> Vec<(String, f64, f64, Gate)> {
             new.opt_wall_us,
             Gate::Informational,
         ),
+        (
+            "cell_wall_us".into(),
+            old.cell_wall_us,
+            new.cell_wall_us,
+            Gate::Informational,
+        ),
     ];
     // Histograms: counts gate exactly, means within the threshold. Iterate
     // the union of names so an appearing/vanishing histogram is caught.
@@ -797,6 +856,8 @@ mod tests {
             mode: "quick".into(),
             size: 16,
             iters: 2,
+            wall_us: row.cell_wall_us,
+            cells_wall_us: row.cell_wall_us,
             rows: vec![row],
         }
     }

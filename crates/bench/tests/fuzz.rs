@@ -9,7 +9,7 @@ use commopt_ironman::Library;
 
 #[test]
 fn full_matrix_survives_one_seeded_plan() {
-    let sweep = run_fuzz(1);
+    let sweep = run_fuzz(1, 2);
     assert_eq!(sweep.cases, 80);
     assert!(sweep.ok(), "\n{}", sweep.report());
 }

@@ -1,0 +1,206 @@
+//! Golden `SimResult` digests: the simulator's complete observable output
+//! — timing, counts, per-proc breakdowns, transfer stats, scalars and
+//! gathered arrays — hashed per benchmark × optimization level × binding
+//! and compared against a committed golden file.
+//!
+//! The goldens were generated *before* the engine's transfer-state tables
+//! were rewritten from `BTreeMap`s to dense slabs, so this test is the
+//! proof that the slab rewrite (and any later hot-path work) is observably
+//! invariant: same `SimResult`, bit for bit, on every cell of the matrix.
+//!
+//! Regenerate (only when an *intentional* behavior change lands) with:
+//!
+//! ```text
+//! COMMOPT_UPDATE_GOLDEN=1 cargo test -p commopt-bench --test golden_sim
+//! ```
+
+use commopt_bench::fuzz::{library_tag, machine_for, EXPERIMENTS};
+use commopt_benchmarks::suite;
+use commopt_core::optimize;
+use commopt_ironman::Library;
+use commopt_sim::{SimConfig, SimResult, Simulator};
+
+const FULL_N: i64 = 12;
+const FULL_ITERS: i64 = 2;
+const FULL_PROCS: usize = 4;
+const TIMING_N: i64 = 16;
+const TIMING_ITERS: i64 = 2;
+const TIMING_PROCS: usize = 16;
+
+/// FNV-1a over a canonical byte stream of every `SimResult` field.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit pattern, so the digest distinguishes -0.0/0.0 and any NaN
+        // payloads — the comparison is exact, not approximate.
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// A stable 16-hex-digit digest of every observable field of the result
+/// (metrics excluded — they have their own invariance test and are off in
+/// these runs).
+fn digest(r: &SimResult) -> String {
+    let mut d = Digest::new();
+    d.f64(r.time_s);
+    d.u64(r.per_proc_time_s.len() as u64);
+    for &t in &r.per_proc_time_s {
+        d.f64(t);
+    }
+    d.u64(r.dynamic_comm);
+    d.u64(r.data_transfers);
+    d.u64(r.bytes_received);
+    d.u64(r.max_message_bytes);
+    d.f64(r.comm_time_s);
+    d.f64(r.compute_time_s);
+    d.u64(r.reductions);
+    d.u64(r.per_proc.len() as u64);
+    for b in &r.per_proc {
+        d.f64(b.compute_s);
+        d.f64(b.send_s);
+        d.f64(b.recv_s);
+        d.f64(b.wait_s);
+        d.f64(b.sync_s);
+        d.f64(b.overhead_s);
+    }
+    d.u64(r.transfers.len() as u64);
+    for (id, s) in &r.transfers {
+        d.u64(u64::from(*id));
+        d.u64(s.executions);
+        d.u64(s.bytes);
+        d.f64(s.wait_s);
+        d.u64(s.max_message_bytes);
+    }
+    d.u64(r.scalars.len() as u64);
+    for (name, v) in &r.scalars {
+        d.str(name);
+        d.f64(*v);
+    }
+    d.u64(r.arrays.len() as u64);
+    for (name, vals) in &r.arrays {
+        d.str(name);
+        d.u64(vals.len() as u64);
+        for &v in vals {
+            d.f64(v);
+        }
+    }
+    format!("{:016x}", d.0)
+}
+
+/// Every golden cell as `(key, digest)`, in a fixed order: full (numeric)
+/// mode over all five bindings at 4 procs, then timing mode on the two
+/// snapshot machines at 16 procs.
+fn collect() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for bench in suite() {
+        for exp in EXPERIMENTS {
+            for lib in Library::ALL {
+                let program = bench.program_with(FULL_N, FULL_ITERS);
+                let opt = optimize(&program, &exp.config());
+                let r = Simulator::new(
+                    &opt.program,
+                    SimConfig::full(machine_for(lib), lib, FULL_PROCS),
+                )
+                .run();
+                let key = format!(
+                    "full/{}/{}/{}/{}p",
+                    bench.name,
+                    exp.name(),
+                    library_tag(lib),
+                    FULL_PROCS
+                );
+                out.push((key, digest(&r)));
+            }
+            for lib in [Library::Pvm, Library::NxSync] {
+                let program = bench.program_with(TIMING_N, TIMING_ITERS);
+                let opt = optimize(&program, &exp.config());
+                let r = Simulator::new(
+                    &opt.program,
+                    SimConfig::timing(machine_for(lib), lib, TIMING_PROCS),
+                )
+                .run();
+                let key = format!(
+                    "timing/{}/{}/{}/{}p",
+                    bench.name,
+                    exp.name(),
+                    library_tag(lib),
+                    TIMING_PROCS
+                );
+                out.push((key, digest(&r)));
+            }
+        }
+    }
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_sim.txt")
+}
+
+#[test]
+fn sim_results_match_committed_goldens() {
+    let cells = collect();
+    let rendered: String = cells.iter().map(|(k, d)| format!("{k} {d}\n")).collect();
+    let path = golden_path();
+    if std::env::var_os("COMMOPT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write goldens");
+        eprintln!(
+            "golden_sim: wrote {} cells to {}",
+            cells.len(),
+            path.display()
+        );
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(generate with COMMOPT_UPDATE_GOLDEN=1 cargo test -p commopt-bench --test golden_sim)",
+            path.display()
+        )
+    });
+    let want: std::collections::BTreeMap<&str, &str> = committed
+        .lines()
+        .filter_map(|l| l.split_once(' '))
+        .collect();
+    assert_eq!(
+        want.len(),
+        cells.len(),
+        "golden file has {} cells, this build produces {}",
+        want.len(),
+        cells.len()
+    );
+    let mut bad = Vec::new();
+    for (key, got) in &cells {
+        match want.get(key.as_str()) {
+            Some(w) if *w == got => {}
+            Some(w) => bad.push(format!("{key}: golden {w}, got {got}")),
+            None => bad.push(format!("{key}: missing from golden file")),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "{} cell(s) diverged from the pre-rewrite goldens:\n{}",
+        bad.len(),
+        bad.join("\n")
+    );
+}

@@ -1,0 +1,19 @@
+//! Observable invariance of the parallel harness: a perf snapshot collected
+//! on one worker and one collected on four workers must be byte-identical
+//! once the volatile wall-clock fields are stripped — same rows, same
+//! order, same metric values, same JSON text.
+
+use commopt_bench::perf::{to_json, Mode, Snapshot};
+
+#[test]
+fn parallel_snapshot_is_byte_identical_to_serial() {
+    let mut serial = Snapshot::collect(Mode::Quick, "paridem", 1);
+    let mut parallel = Snapshot::collect(Mode::Quick, "paridem", 4);
+    serial.strip_volatile();
+    parallel.strip_volatile();
+    assert_eq!(
+        to_json(&serial),
+        to_json(&parallel),
+        "stripped quick snapshots must not depend on the worker count"
+    );
+}

@@ -40,7 +40,6 @@ use commopt_ir::{
 };
 use commopt_ironman::{Action, Binding, Library};
 use commopt_machine::{BlockDist, CommCosts, MachineSpec, ProcGrid, ProcId};
-use std::collections::BTreeMap;
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -148,6 +147,27 @@ struct InFlight {
     retired: bool,
 }
 
+impl InFlight {
+    /// Reinitializes this instance for a fresh SR, reusing the previous
+    /// instance's buffers. `data` is only sized in full mode — timing runs
+    /// never read it.
+    fn reset(&mut self, n: usize, recv_bytes: &[u64], active: bool, with_data: bool) {
+        self.arrival.clear();
+        self.arrival.resize(n, f64::NEG_INFINITY);
+        self.recv_bytes.clear();
+        self.recv_bytes.extend_from_slice(recv_bytes);
+        self.buf_free.clear();
+        self.buf_free.resize(n, 0.0);
+        self.sent.clear();
+        self.sent.resize(n, false);
+        if with_data {
+            self.data.clear();
+            self.data.resize_with(n, Vec::new);
+        }
+        self.retired = !active;
+    }
+}
+
 /// Geometry of one transfer instance under the current loop environment.
 struct Geom {
     /// Per proc: ghost slabs it receives, as (array index, rect).
@@ -195,11 +215,19 @@ pub struct Simulator<'p> {
     env: LoopEnv,
     dists: Vec<BlockDist>,
     arrays: Vec<DistArray>,
-    /// `BTreeMap` (not `HashMap`) so iteration order is deterministic —
-    /// the fault layer's reorder swaps scan it.
-    inflight: BTreeMap<TransferId, InFlight>,
-    /// Per transfer: each proc's clock at its most recent DR.
-    dr_time: BTreeMap<TransferId, Vec<f64>>,
+    /// Per transfer (indexed by `TransferId::index()` — the id space is
+    /// exactly `program.transfers.len()`): the live in-flight instance,
+    /// `None` before the first SR. A dense slab rather than a map, so the
+    /// hot-path lookups are direct indexing and iteration order (which the
+    /// fault layer's reorder swaps scan) is transfer-id order by
+    /// construction.
+    inflight: Vec<Option<InFlight>>,
+    /// Per transfer × proc (row-major, `transfers.len() × nprocs`): each
+    /// proc's clock at the transfer's most recent DR. Zero before the
+    /// first DR — exactly the missing-entry default of the map this
+    /// replaced — and fixed-size for the whole run, so retired transfers
+    /// retain no per-instance state however long the program runs.
+    dr_time: Vec<f64>,
     pool: BufPool,
     count_proc: ProcId,
     // metric accumulators (µs / counts)
@@ -224,10 +252,10 @@ pub struct Simulator<'p> {
     /// Deep metrics accumulator; `Some` only when configured, so the
     /// default path costs nothing and perturbs nothing.
     metrics: Option<RunMetrics>,
-    /// Per transfer: whether the receiver side has posted readiness for
-    /// the next one-way put. Consumed by each put instance (see
-    /// [`crate::safety`]).
-    ready: BTreeMap<TransferId, bool>,
+    /// Per transfer (indexed by `TransferId::index()`): whether the
+    /// receiver side has posted readiness for the next one-way put.
+    /// Consumed by each put instance (see [`crate::safety`]).
+    ready: Vec<bool>,
     /// Safety violations observed so far; reported at end of run.
     violations: Vec<SafetyViolation>,
 }
@@ -269,8 +297,10 @@ impl<'p> Simulator<'p> {
             env: LoopEnv::new(),
             dists,
             arrays,
-            inflight: BTreeMap::new(),
-            dr_time: BTreeMap::new(),
+            inflight: std::iter::repeat_with(|| None)
+                .take(program.transfers.len())
+                .collect(),
+            dr_time: vec![0.0; program.transfers.len() * n],
             pool: BufPool::default(),
             count_proc: grid.interior_proc(),
             dynamic_comm: 0,
@@ -285,7 +315,7 @@ impl<'p> Simulator<'p> {
             span_bytes: vec![0; n],
             faults,
             metrics: cfg.metrics.then(|| RunMetrics::new(grid)),
-            ready: BTreeMap::new(),
+            ready: vec![false; program.transfers.len()],
             violations: Vec::new(),
             cfg,
         }
@@ -309,14 +339,15 @@ impl<'p> Simulator<'p> {
         self.exec_block(body)?;
         // End-of-run safety scan: every message put in flight must have
         // been retired by a DN before the program ends.
-        for (tid, fl) in &self.inflight {
+        for (i, slot) in self.inflight.iter().enumerate() {
+            let Some(fl) = slot else { continue };
             if fl.retired {
                 continue;
             }
             for (p, &b) in fl.recv_bytes.iter().enumerate() {
                 if b > 0 {
                     self.violations.push(SafetyViolation::UnretiredRecv {
-                        transfer: *tid,
+                        transfer: TransferId(i as u32),
                         receiver: p,
                     });
                 }
@@ -468,6 +499,21 @@ impl<'p> Simulator<'p> {
     /// processor (evaluate-all-then-commit preserves ZPL's read-before-
     /// write statement semantics, including self-shifts like `A := A@e`).
     fn compute_assign_data(&mut self, rect: Rect, lhs: usize, rhs: &Expr) {
+        // Fast path: a bare reference RHS is a run-by-run block copy — no
+        // scratch buffers, no per-element evaluation. A zero-offset copy
+        // from the assigned array itself is the identity; a *shifted*
+        // self-copy keeps the buffered path below, which is what preserves
+        // read-before-write.
+        if let Expr::Ref { array, offset } = rhs {
+            let src = array.index();
+            if src != lhs {
+                self.copy_assign_data(rect, lhs, src, offset);
+                return;
+            }
+            if offset.is_zero() {
+                return;
+            }
+        }
         let rank = self.program.arrays[lhs].rect.rank;
         let d_last = rank - 1;
         for p in 0..self.grid.len() {
@@ -497,6 +543,40 @@ impl<'p> Simulator<'p> {
                 block.run_mut(base, buf.len()).copy_from_slice(&buf);
                 self.pool.put(buf);
             }
+        }
+    }
+
+    /// `A := B@off` (distinct arrays): memcpy each contiguous run straight
+    /// from the source block — the same reads and writes as the buffered
+    /// path, minus the intermediates.
+    fn copy_assign_data(
+        &mut self,
+        rect: Rect,
+        lhs: usize,
+        src: usize,
+        offset: &commopt_ir::Offset,
+    ) {
+        for p in 0..self.grid.len() {
+            let local = rect.intersect(&self.arrays[lhs].dist.owned(p));
+            if local.is_empty() {
+                continue;
+            }
+            let (lo, hi) = self.arrays.split_at_mut(lhs.max(src));
+            let (dst, sa) = if lhs < src {
+                (&mut lo[lhs], &hi[0])
+            } else {
+                (&mut hi[0], &lo[src])
+            };
+            let (dst_block, src_block) = (dst.block_mut(p), sa.block(p));
+            for_each_run(&local, |base, len| {
+                let mut b = base;
+                for d in 0..MAX_RANK {
+                    b[d] += offset.get(d) as i64;
+                }
+                dst_block
+                    .run_mut(base, len)
+                    .copy_from_slice(src_block.run(b, len));
+            });
         }
     }
 
@@ -741,14 +821,10 @@ impl<'p> Simulator<'p> {
         let geom = self.geometry(tid);
         self.check_overwrite(tid);
         let n = self.grid.len();
-        let mut fl = InFlight {
-            arrival: vec![f64::NEG_INFINITY; n],
-            recv_bytes: geom.bytes.clone(),
-            buf_free: vec![0.0; n],
-            sent: vec![false; n],
-            data: vec![Vec::new(); n],
-            retired: !geom.active(),
-        };
+        // Reuse the previous instance's buffers; the steady-state loop
+        // allocates nothing per SR.
+        let mut fl = self.inflight[tid.index()].take().unwrap_or_default();
+        fl.reset(n, &geom.bytes, geom.active(), self.cfg.compute_data);
         for p in 0..n {
             for &(reader, b) in &geom.outgoing[p] {
                 // Asynchronous or not, injection consumes CPU — the
@@ -768,7 +844,7 @@ impl<'p> Simulator<'p> {
         if self.cfg.compute_data {
             self.snapshot(&geom, &mut fl);
         }
-        self.inflight.insert(tid, fl);
+        self.inflight[tid.index()] = Some(fl);
     }
 
     /// SR under `shmem_put`: one-way remote store, gated on the reader
@@ -777,28 +853,17 @@ impl<'p> Simulator<'p> {
         let geom = self.geometry(tid);
         self.check_overwrite(tid);
         let n = self.grid.len();
-        let dr = self
-            .dr_time
-            .get(&tid)
-            .cloned()
-            .unwrap_or_else(|| vec![0.0; n]);
         // One-way safety: a put is only legal once the receiver announced
         // readiness for *this* instance. Readiness is consumed here, so a
         // stale `synch` from a previous iteration does not excuse a later
         // put (see `crate::safety`).
         let was_ready = if geom.active() {
-            self.ready.insert(tid, false) == Some(true)
+            std::mem::replace(&mut self.ready[tid.index()], false)
         } else {
             true
         };
-        let mut fl = InFlight {
-            arrival: vec![f64::NEG_INFINITY; n],
-            recv_bytes: geom.bytes.clone(),
-            buf_free: vec![0.0; n],
-            sent: vec![false; n],
-            data: vec![Vec::new(); n],
-            retired: !geom.active(),
-        };
+        let mut fl = self.inflight[tid.index()].take().unwrap_or_default();
+        fl.reset(n, &geom.bytes, geom.active(), self.cfg.compute_data);
         for p in 0..n {
             for &(reader, b) in &geom.outgoing[p] {
                 if !was_ready {
@@ -809,7 +874,9 @@ impl<'p> Simulator<'p> {
                         at_us: self.clocks[p],
                     });
                 }
-                let start = self.clocks[p].max(dr[reader]);
+                // The reader's DR clock, straight from the slab (zero when
+                // no DR has run yet).
+                let start = self.clocks[p].max(self.dr_time[tid.index() * n + reader]);
                 self.cats[p].wait_s += start - self.clocks[p];
                 self.cats[p].send_s += self.costs.send_cpu_us(b);
                 self.span_bytes[p] += b;
@@ -824,7 +891,7 @@ impl<'p> Simulator<'p> {
         if self.cfg.compute_data {
             self.snapshot(&geom, &mut fl);
         }
-        self.inflight.insert(tid, fl);
+        self.inflight[tid.index()] = Some(fl);
     }
 
     /// Full mode: capture, per reader, the slab values as of SR time —
@@ -843,17 +910,15 @@ impl<'p> Simulator<'p> {
     fn do_post(&mut self, tid: TransferId) {
         let geom = self.geometry(tid);
         let n = self.grid.len();
-        let mut dr = vec![0.0; n];
         for p in 0..n {
             if geom.bytes[p] > 0 {
                 self.clocks[p] += self.costs.post_recv_us;
                 self.cats[p].recv_s += self.costs.post_recv_us;
                 self.span_bytes[p] += geom.bytes[p];
             }
-            dr[p] = self.clocks[p];
+            self.dr_time[tid.index() * n + p] = self.clocks[p];
         }
-        self.dr_time.insert(tid, dr);
-        self.ready.insert(tid, true);
+        self.ready[tid.index()] = true;
     }
 
     /// DR under SHMEM `synch`: the heavyweight rendezvous of the prototype
@@ -865,9 +930,13 @@ impl<'p> Simulator<'p> {
     /// the call (guard cost only).
     fn do_sync_dr(&mut self, tid: TransferId) {
         let geom = self.geometry(tid);
-        self.ready.insert(tid, true);
+        let n = self.grid.len();
+        let row = tid.index() * n;
+        self.ready[tid.index()] = true;
         if !geom.active() {
-            self.dr_time.insert(tid, self.clocks.clone());
+            // Record the per-proc DR clocks in place — no clock-vector
+            // clone, the slab row is preallocated.
+            self.dr_time[row..row + n].copy_from_slice(&self.clocks);
             return;
         }
         // The prototype's `synch` behaves like a barrier among all
@@ -875,10 +944,8 @@ impl<'p> Simulator<'p> {
         // Balanced stencil codes barely notice (their clocks agree);
         // wavefront-serialized sweeps (TOMCATV, SP) are forced to a
         // mesh-wide rendezvous at every data-moving row.
-        let n = self.grid.len();
         let max = self.clocks.iter().copied().fold(0.0_f64, f64::max);
         let joined = max + self.costs.sync_us;
-        let mut dr = vec![0.0; n];
         for p in 0..n {
             if geom.exchanges(p) {
                 self.cats[p].wait_s += max - self.clocks[p];
@@ -886,19 +953,18 @@ impl<'p> Simulator<'p> {
                 self.span_bytes[p] += geom.bytes[p];
                 self.clocks[p] = joined;
             }
-            dr[p] = self.clocks[p];
+            self.dr_time[row + p] = self.clocks[p];
         }
-        self.dr_time.insert(tid, dr);
     }
 
     fn do_recv(&mut self, tid: TransferId, kind: RecvKind, call: CallKind) -> Result<(), SimError> {
-        if self.inflight.get(&tid).is_none_or(|fl| fl.retired) {
+        let live = self.inflight[tid.index()].as_ref().filter(|fl| !fl.retired);
+        let Some(fl) = live else {
             // DN with no live message in flight: harmless when this
             // instance moves no data, a deadlock otherwise — a blocking
             // receive for a message nobody will ever send.
             return self.require_no_pending(tid, call);
-        }
-        let fl = &self.inflight[&tid];
+        };
         let n = self.grid.len();
         for p in 0..n {
             let b = fl.recv_bytes[p];
@@ -946,7 +1012,10 @@ impl<'p> Simulator<'p> {
             self.retire(tid);
             return self.deliver(tid);
         }
-        if self.inflight.get(&tid).is_none_or(|fl| fl.retired) {
+        if self.inflight[tid.index()]
+            .as_ref()
+            .is_none_or(|fl| fl.retired)
+        {
             // An active instance with no live put in flight: the DN-side
             // `synch` would rendezvous with a partner that never arrives.
             return self.require_no_pending(tid, call);
@@ -956,7 +1025,7 @@ impl<'p> Simulator<'p> {
             let mut t = self.clocks[p];
             // Only the receiving side has anything to wait for at DN.
             let partnered = geom.bytes[p] > 0;
-            if let Some(fl) = self.inflight.get(&tid) {
+            if let Some(fl) = &self.inflight[tid.index()] {
                 let b = fl.recv_bytes[p];
                 if b > 0 {
                     t = t.max(fl.arrival[p]);
@@ -987,7 +1056,7 @@ impl<'p> Simulator<'p> {
     /// Marks the transfer's current in-flight instance retired (all of
     /// its messages consumed by a DN).
     fn retire(&mut self, tid: TransferId) {
-        if let Some(fl) = self.inflight.get_mut(&tid) {
+        if let Some(fl) = &mut self.inflight[tid.index()] {
             fl.retired = true;
         }
     }
@@ -997,7 +1066,7 @@ impl<'p> Simulator<'p> {
         if !self.cfg.compute_data {
             return Ok(());
         }
-        let Some(fl) = self.inflight.get_mut(&tid) else {
+        let Some(fl) = &mut self.inflight[tid.index()] else {
             return Ok(());
         };
         let deliveries = std::mem::take(&mut fl.data);
@@ -1047,18 +1116,24 @@ impl<'p> Simulator<'p> {
     /// Fault hook: with the plan's reorder probability per receiver, swap
     /// this message's arrival time with another live in-flight message to
     /// the same receiver — overtaking between independent transfers.
-    /// Deterministic given the seed: the candidate scan follows the
-    /// `BTreeMap`'s transfer-id order.
+    /// Deterministic given the seed: the candidate scan follows slab index
+    /// order, which is transfer-id order by construction.
     fn reorder(&mut self, tid: TransferId, fl: &mut InFlight) {
         let Some(f) = &mut self.faults else { return };
         for p in 0..fl.recv_bytes.len() {
             if fl.recv_bytes[p] == 0 || !fl.arrival[p].is_finite() || !f.roll_reorder() {
                 continue;
             }
-            let other = self.inflight.iter_mut().find(|(otid, o)| {
-                **otid != tid && !o.retired && o.recv_bytes[p] > 0 && o.arrival[p].is_finite()
-            });
-            if let Some((_, o)) = other {
+            let other = self
+                .inflight
+                .iter_mut()
+                .enumerate()
+                .filter(|&(i, _)| i != tid.index())
+                .find_map(|(_, slot)| {
+                    slot.as_mut()
+                        .filter(|o| !o.retired && o.recv_bytes[p] > 0 && o.arrival[p].is_finite())
+                });
+            if let Some(o) = other {
                 std::mem::swap(&mut fl.arrival[p], &mut o.arrival[p]);
                 f.note_reordered();
             }
@@ -1070,7 +1145,7 @@ impl<'p> Simulator<'p> {
     /// receive buffers.
     fn check_overwrite(&mut self, tid: TransferId) {
         let at_us = self.clocks[self.count_proc];
-        let Some(prev) = self.inflight.get(&tid) else {
+        let Some(prev) = &self.inflight[tid.index()] else {
             return;
         };
         if prev.retired {
@@ -1111,7 +1186,7 @@ impl<'p> Simulator<'p> {
 
     /// SV under `msgwait`: block until the outgoing buffer drained.
     fn do_wait_send(&mut self, tid: TransferId) {
-        let Some(fl) = self.inflight.get(&tid) else {
+        let Some(fl) = &self.inflight[tid.index()] else {
             return;
         };
         for p in 0..self.grid.len() {

@@ -90,11 +90,7 @@ pub fn eval_run(
             }
         }
         Expr::Ref { array, offset } => {
-            let mut b = base;
-            for d in 0..MAX_RANK {
-                b[d] += offset.get(d) as i64;
-            }
-            let src = ctx.src.block(array.index()).run(b, len);
+            let src = ref_run(ctx, *array, offset, base, len);
             out.copy_from_slice(src);
         }
         Expr::Unary { op, a } => {
@@ -105,14 +101,40 @@ pub fn eval_run(
         }
         Expr::Binary { op, a, b } => {
             eval_run(ctx, a, base, d_last, out, pool);
-            let mut rhs = pool.get(len);
-            eval_run(ctx, b, base, d_last, &mut rhs, pool);
-            for (o, r) in out.iter_mut().zip(rhs.iter()) {
-                *o = op.apply(*o, *r);
+            // Fast path: a reference operand is a contiguous run of block
+            // storage — zip against the borrowed slice instead of
+            // round-tripping it through a scratch buffer.
+            if let Expr::Ref { array, offset } = &**b {
+                let rhs = ref_run(ctx, *array, offset, base, len);
+                for (o, r) in out.iter_mut().zip(rhs.iter()) {
+                    *o = op.apply(*o, *r);
+                }
+            } else {
+                let mut rhs = pool.get(len);
+                eval_run(ctx, b, base, d_last, &mut rhs, pool);
+                for (o, r) in out.iter_mut().zip(rhs.iter()) {
+                    *o = op.apply(*o, *r);
+                }
+                pool.put(rhs);
             }
-            pool.put(rhs);
         }
     }
+}
+
+/// The contiguous `len`-element run a (possibly shifted) array reference
+/// reads, borrowed straight from block storage.
+fn ref_run<'a>(
+    ctx: &EvalCtx<'a>,
+    array: commopt_ir::ArrayId,
+    offset: &commopt_ir::Offset,
+    base: [i64; MAX_RANK],
+    len: usize,
+) -> &'a [f64] {
+    let mut b = base;
+    for d in 0..MAX_RANK {
+        b[d] += offset.get(d) as i64;
+    }
+    ctx.src.block(array.index()).run(b, len)
 }
 
 #[cfg(test)]

@@ -67,25 +67,58 @@ pub fn sweep<N: AsRef<str> + std::panic::RefUnwindSafe>(
     for name in names {
         for seed in 0..seeds {
             out.cases += 1;
-            let result =
-                std::panic::catch_unwind(|| run(name.as_ref(), seed)).unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("panicked");
-                    Err(format!("panic: {msg}"))
-                });
-            if let Err(message) = result {
-                out.failures.push(Failure {
-                    case: name.as_ref().to_string(),
-                    seed,
-                    message,
-                });
+            if let Some(failure) = run_case(name.as_ref(), seed, &run) {
+                out.failures.push(failure);
             }
         }
     }
     out
+}
+
+/// Runs one case under `catch_unwind`, turning an `Err` or a panic into a
+/// [`Failure`].
+fn run_case(
+    name: &str,
+    seed: u64,
+    run: &(impl Fn(&str, u64) -> Result<(), String> + std::panic::RefUnwindSafe),
+) -> Option<Failure> {
+    let result = std::panic::catch_unwind(|| run(name, seed)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("panicked");
+        Err(format!("panic: {msg}"))
+    });
+    result.err().map(|message| Failure {
+        case: name.to_string(),
+        seed,
+        message,
+    })
+}
+
+/// [`sweep`] fanned over `jobs` worker threads. Cases are independent
+/// (each gets its own seed-derived state), so the sweep parallelizes
+/// trivially; failures are still reported **in case order** — the order
+/// the serial sweep would visit them — regardless of which worker finished
+/// first, so a parallel run's report is byte-identical to a serial one.
+pub fn sweep_jobs<N: AsRef<str> + std::panic::RefUnwindSafe>(
+    names: &[N],
+    seeds: u64,
+    jobs: usize,
+    run: impl Fn(&str, u64) -> Result<(), String> + std::panic::RefUnwindSafe + Sync,
+) -> Sweep {
+    let cases: Vec<(&str, u64)> = names
+        .iter()
+        .flat_map(|name| (0..seeds).map(move |seed| (name.as_ref(), seed)))
+        .collect();
+    let total = cases.len() as u64;
+    let outcomes =
+        crate::pool::Pool::new(jobs).map(cases, |_, (name, seed)| run_case(name, seed, &run));
+    Sweep {
+        cases: total,
+        failures: outcomes.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +158,37 @@ mod tests {
         assert_eq!(s.cases, 4);
         assert_eq!(s.failures.len(), 1);
         assert!(s.failures[0].message.contains("exploded"));
+    }
+
+    #[test]
+    fn parallel_sweep_reports_failures_in_case_order() {
+        let run = |name: &str, seed: u64| {
+            // Jittered completion: later cases finish first under multiple
+            // workers, yet the report must stay in serial visit order.
+            let mut rng = crate::Rng::new(seed ^ name.len() as u64);
+            std::thread::sleep(std::time::Duration::from_micros(rng.next_u64() % 500));
+            if seed % 2 == 1 {
+                Err(format!("{name} odd seed"))
+            } else {
+                Ok(())
+            }
+        };
+        let serial = sweep_jobs(&["a", "b", "c"], 6, 1, run);
+        let parallel = sweep_jobs(&["a", "b", "c"], 6, 4, run);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.report(), parallel.report());
+        assert_eq!(serial.cases, 18);
+        assert_eq!(serial.failures.len(), 9);
+        let order: Vec<(String, u64)> = serial
+            .failures
+            .iter()
+            .map(|f| (f.case.clone(), f.seed))
+            .collect();
+        let want: Vec<(String, u64)> = ["a", "b", "c"]
+            .iter()
+            .flat_map(|n| [1u64, 3, 5].iter().map(|&s| (n.to_string(), s)))
+            .collect();
+        assert_eq!(order, want);
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //!   replayed in isolation with [`Rng::new`];
 //! * [`fuzz`] — a sweep driver that runs a matrix of named cases,
 //!   collecting every failure (instead of stopping at the first) into a
-//!   replayable report.
+//!   replayable report;
+//! * [`pool`] — a scoped-thread worker pool with deterministic
+//!   (input-index) result ordering, used to fan the experiment matrices
+//!   over the machine's cores.
 //!
 //! Generation is deterministic: the same seed always produces the same
 //! values, on every platform, so a failure message's seed is a complete
 //! reproduction recipe.
 
 pub mod fuzz;
+pub mod pool;
 
 /// A deterministic SplitMix64 PRNG.
 ///
